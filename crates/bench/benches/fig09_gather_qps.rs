@@ -1,0 +1,66 @@
+//! Figure 9: QPS of embedding gather operations over a 20M-entry table as
+//! a function of the number of gathers, for embedding dimensions 32–512.
+//!
+//! This is the one-time profiling sweep whose lookup table feeds the
+//! QPS(x) regression in Algorithm 1. The paper's shape: QPS falls
+//! hyperbolically with gather count, and larger vector dimensions shift
+//! the whole curve down.
+
+use elasticrec::Calibration;
+use er_bench::report;
+use er_partition::{AnalyticGatherModel, ProfiledQpsModel, QpsModel};
+
+fn main() {
+    let calib = Calibration::cpu_only();
+    let dims = [32u64, 64, 128, 256, 512];
+    let sweep: Vec<f64> = (0..=10).map(|i| 4f64.powi(i)).collect(); // 1 .. ~1e6
+
+    report::header(
+        "Figure 9",
+        "gather QPS vs number of gathers (20M-entry table, one shard replica)",
+    );
+    let mut curves = Vec::new();
+    for &dim in &dims {
+        let hw = AnalyticGatherModel::new(
+            calib.sparse_base_secs,
+            calib.sparse_cores as f64 * calib.gather_bytes_per_sec_per_core,
+            dim * 4,
+        );
+        let profiled = ProfiledQpsModel::profile(&hw, &sweep);
+        let qps: Vec<f64> = sweep.iter().map(|&x| profiled.qps(x)).collect();
+        let cells: Vec<(String, String)> = sweep
+            .iter()
+            .zip(&qps)
+            .map(|(&x, &q)| (format!("x={x:.0}"), format!("{q:.0}")))
+            .collect();
+        let cells_ref: Vec<(&str, String)> =
+            cells.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        report::row(&format!("dim {dim}"), &cells_ref);
+        curves.push(qps);
+    }
+
+    // Each curve decreases in the gather count.
+    for (d, curve) in dims.iter().zip(&curves) {
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "dim {d}: QPS must fall with gathers");
+        }
+    }
+    // Larger dimensions sit strictly below smaller ones at high gather
+    // counts (read-traffic bound).
+    let last = sweep.len() - 1;
+    for w in curves.windows(2) {
+        assert!(
+            w[1][last] < w[0][last],
+            "larger dims must have lower QPS at the bandwidth-bound end"
+        );
+    }
+    // At x=1 the curves converge (overhead bound), spreading apart as x
+    // grows — the crossover structure of the paper's figure.
+    let spread_low = curves[0][0] / curves[dims.len() - 1][0];
+    let spread_high = curves[0][last] / curves[dims.len() - 1][last];
+    assert!(
+        spread_high > 4.0 * spread_low,
+        "curves must fan out with gather count (low {spread_low:.2} high {spread_high:.2})"
+    );
+    println!("\n[ok] Figure 9 qualitative checks passed");
+}

@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks of the computational kernels underlying the
+//! reproduction: MLP forward passes, embedding gather+pool, bucketization,
+//! the DP partitioner, and Zipf sampling.
+//!
+//! These are not paper figures; they document the substrate's raw
+//! performance and catch algorithmic regressions (e.g. the DP going
+//! quadratic in the wrong variable).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use er_distribution::{LocalityTarget, ZipfDistribution};
+use er_model::{configs, Dlrm, QueryGenerator};
+use er_partition::{bucketize, partition_bucketed, PartitionPlan};
+use er_sim::SimRng;
+use er_tensor::{Activation, Matrix, Mlp};
+
+fn bench_mlp_forward(c: &mut Criterion) {
+    let mlp = Mlp::with_seed(13, &[256, 128, 32], Activation::Relu, 1);
+    let input = Matrix::filled(32, 13, 0.5);
+    c.bench_function("mlp_forward_rm1_bottom_batch32", |b| {
+        b.iter(|| black_box(mlp.forward(black_box(&input))))
+    });
+}
+
+fn bench_gather_pool(c: &mut Criterion) {
+    let cfg = configs::rm1().scaled_tables(100_000).with_num_tables(1);
+    let model = Dlrm::with_seed(&cfg, 2);
+    let query = QueryGenerator::new(&cfg).generate(&mut SimRng::seed_from(3));
+    c.bench_function("gather_pool_batch32_pooling128", |b| {
+        b.iter(|| black_box(model.tables()[0].gather_pool(black_box(&query.lookups[0]))))
+    });
+}
+
+fn bench_bucketize(c: &mut Criterion) {
+    let cfg = configs::rm1().scaled_tables(1_000_000).with_num_tables(1);
+    let query = QueryGenerator::new(&cfg).generate(&mut SimRng::seed_from(4));
+    let plan = PartitionPlan::new(vec![10_000, 120_000, 400_000, 1_000_000], 1_000_000).unwrap();
+    let lookup = &query.lookups[0];
+    c.bench_function("bucketize_4096_gathers_4_shards", |b| {
+        b.iter(|| {
+            black_box(bucketize(
+                black_box(lookup.indices()),
+                black_box(lookup.offsets()),
+                black_box(&plan),
+            ))
+        })
+    });
+}
+
+fn bench_dp_partition(c: &mut Criterion) {
+    // The paper's 20M-entry table, bucketed DP — must stay well under the
+    // paper's 18-second reference implementation.
+    c.bench_function("dp_partition_20m_rows_48_candidates", |b| {
+        b.iter(|| {
+            black_box(partition_bucketed(20_000_000, 4, 48, |k, j| {
+                let size = (j - k) as f64;
+                size * (1.0 + 1e5 / (k as f64 + 10.0)) + 1e6
+            }))
+        })
+    });
+}
+
+fn bench_zipf_sampling(c: &mut Criterion) {
+    let dist = LocalityTarget::new(0.90).solve(20_000_000);
+    let mut rng = SimRng::seed_from(5);
+    c.bench_function("zipf_quantile_analytic_20m", |b| {
+        b.iter(|| black_box(dist.quantile(black_box(rng.uniform()))))
+    });
+    let table = ZipfDistribution::new(1_000_000, 1.0).tabulate();
+    c.bench_function("zipf_quantile_tabulated_1m", |b| {
+        b.iter_batched(
+            || rng.uniform(),
+            |u| black_box(table.quantile(black_box(u))),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mlp_forward,
+    bench_gather_pool,
+    bench_bucketize,
+    bench_dp_partition,
+    bench_zipf_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Calibration inspector: prints the steady-state metrics every figure
+//! depends on, so calibration constants can be sanity-checked at a glance.
+//!
+//! Run with `cargo run -p er-bench --bin calibrate --release`.
+
+use elasticrec::{plan, Calibration, Platform, ServingPlan, SteadyState, Strategy};
+use er_model::configs;
+
+fn describe(p: &ServingPlan, target: f64, calib: &Calibration) {
+    let s = SteadyState::size(p, target, calib).expect("sizing fits");
+    let fe = p.frontend();
+    println!(
+        "  {:<12} shards={:<3} nodes={:<3} mem={:>8.1} GiB  fe_busy={:>6.1} ms fe_qps={:>6.1} fe_reps={}",
+        format!("{:?}", p.strategy),
+        p.num_shards(),
+        s.nodes_used,
+        s.memory_bytes as f64 / (1u64 << 30) as f64,
+        fe.service.busy_secs() * 1e3,
+        fe.qps_max(),
+        s.replicas_of(&fe.name),
+    );
+    // Table-0 shard detail for Elastic plans.
+    if matches!(p.strategy, Strategy::Elastic) {
+        let plan0 = &p.table_plans[0];
+        print!("      t0 shards:");
+        for (i, (k, j)) in plan0.shards().into_iter().enumerate() {
+            let name = format!("emb-t0-s{i}");
+            let spec = p.shards.iter().find(|s| s.name == name).unwrap();
+            print!(
+                " s{i}[{:.2}% rows, n_s={:.0}, qps={:.0}, reps={}]",
+                100.0 * (j - k) as f64 / plan0.table_len() as f64,
+                spec.expected_gathers,
+                spec.qps_max(),
+                s.replicas_of(&name),
+            );
+        }
+        println!();
+    }
+}
+
+fn main() {
+    for (label, platform, calib, target) in [
+        (
+            "CPU-only @100",
+            Platform::CpuOnly,
+            Calibration::cpu_only(),
+            100.0,
+        ),
+        (
+            "CPU-GPU @200",
+            Platform::CpuGpu,
+            Calibration::cpu_gpu(),
+            200.0,
+        ),
+    ] {
+        println!("\n===== {label} =====");
+        for cfg in configs::all_rms() {
+            println!("{}:", cfg.name);
+            let mw = plan(&cfg, platform, Strategy::ModelWise, &calib);
+            let el = plan(&cfg, platform, Strategy::Elastic, &calib);
+            describe(&mw, target, &calib);
+            describe(&el, target, &calib);
+            let mw_s = SteadyState::size(&mw, target, &calib).unwrap();
+            let el_s = SteadyState::size(&el, target, &calib).unwrap();
+            println!(
+                "      memory ratio {:.2}x   node ratio {:.2}x",
+                mw_s.memory_bytes as f64 / el_s.memory_bytes as f64,
+                mw_s.nodes_used as f64 / el_s.nodes_used as f64
+            );
+            if platform == Platform::CpuGpu {
+                let mc = plan(
+                    &cfg,
+                    platform,
+                    Strategy::ModelWiseCached { gpu_hit_rate: 0.9 },
+                    &calib,
+                );
+                describe(&mc, target, &calib);
+                let mc_s = SteadyState::size(&mc, target, &calib).unwrap();
+                println!(
+                    "      cache-vs-mw mem {:.2}x   elastic-vs-cache mem {:.2}x",
+                    mw_s.memory_bytes as f64 / mc_s.memory_bytes as f64,
+                    mc_s.memory_bytes as f64 / el_s.memory_bytes as f64
+                );
+            }
+        }
+    }
+}

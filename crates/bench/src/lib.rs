@@ -1,0 +1,5 @@
+//! Benchmark harness crate: every table and figure of the paper has a
+//! corresponding bench target under `benches/`, plus reporting helpers
+//! shared by those targets.
+
+pub mod report;

@@ -1,0 +1,23 @@
+//! Shared helpers for printing paper-style result tables.
+
+/// Prints a section header for one experiment.
+pub fn header(id: &str, title: &str) {
+    println!();
+    println!("==== {id}: {title} ====");
+}
+
+/// Prints one row of `label: value` pairs, aligned.
+pub fn row(label: &str, cells: &[(&str, String)]) {
+    let cells: Vec<String> = cells.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!("{label:<28} {}", cells.join("  "));
+}
+
+/// Formats a ratio like the paper quotes them, e.g. `2.2x`.
+pub fn ratio(a: f64, b: f64) -> String {
+    format!("{:.2}x", a / b)
+}
+
+/// Formats gibibytes.
+pub fn gib(bytes: u64) -> String {
+    format!("{:.2} GiB", bytes as f64 / (1u64 << 30) as f64)
+}

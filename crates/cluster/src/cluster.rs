@@ -1,0 +1,725 @@
+//! The cluster: nodes, deployments, and the bin-packing scheduler.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use er_sim::SimTime;
+
+use crate::{HardwareProfile, Pod, PodSpec, ResourceRequest};
+
+/// Why a pod could not be scheduled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The pod's request exceeds a whole empty node — it can never fit.
+    PodLargerThanNode {
+        /// The deployment whose pod failed to schedule.
+        deployment: String,
+    },
+    /// All provisioned nodes are full and the node budget is exhausted.
+    ClusterFull {
+        /// The deployment whose pod failed to schedule.
+        deployment: String,
+        /// The node-count cap that was hit.
+        max_nodes: usize,
+    },
+    /// A deployment name was not found.
+    UnknownDeployment(String),
+    /// A deployment with this name already exists.
+    DuplicateDeployment(String),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::PodLargerThanNode { deployment } => {
+                write!(f, "pod of deployment '{deployment}' exceeds node capacity")
+            }
+            ScheduleError::ClusterFull {
+                deployment,
+                max_nodes,
+            } => write!(
+                f,
+                "no room for deployment '{deployment}' within {max_nodes} nodes"
+            ),
+            ScheduleError::UnknownDeployment(name) => {
+                write!(f, "unknown deployment '{name}'")
+            }
+            ScheduleError::DuplicateDeployment(name) => {
+                write!(f, "deployment '{name}' already exists")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+/// A homogeneous group of provisionable nodes within a cluster.
+///
+/// Single-pool clusters model the paper's testbeds; multi-pool clusters
+/// support the heterogeneous extension where CPU-only embedding shards are
+/// scheduled onto cheaper GPU-less nodes.
+#[derive(Debug, Clone)]
+pub struct NodePool {
+    /// Hardware of every node in the pool.
+    pub profile: HardwareProfile,
+    /// Provisioning cap for the pool (None = unbounded).
+    pub max_nodes: Option<usize>,
+}
+
+impl NodePool {
+    /// A pool of `profile` nodes.
+    pub fn new(profile: HardwareProfile, max_nodes: Option<usize>) -> Self {
+        Self { profile, max_nodes }
+    }
+
+    fn capacity(&self) -> ResourceRequest {
+        ResourceRequest {
+            cpu_millicores: self.profile.cpu_millicores(),
+            memory_bytes: self.profile.mem_bytes,
+            gpus: u32::from(self.profile.has_gpu()),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    pool: usize,
+    allocated: ResourceRequest,
+    pods: usize,
+    failed: bool,
+}
+
+#[derive(Debug, Clone)]
+struct DeploymentState {
+    spec: PodSpec,
+    pods: Vec<Pod>,
+}
+
+/// A homogeneous cluster of nodes managed like a Kubernetes cluster: pods
+/// are placed first-fit onto nodes, and new nodes are provisioned on demand
+/// up to an optional cap.
+///
+/// Auto-provisioning is the lens for the paper's cost experiments
+/// (Figures 15/18): the number of nodes the scheduler ends up using *is*
+/// the deployment cost.
+///
+/// # Examples
+///
+/// ```
+/// use er_cluster::{Cluster, HardwareProfile, PodSpec, ResourceRequest};
+/// use er_sim::SimTime;
+///
+/// let mut c = Cluster::new(HardwareProfile::cpu_only_node(), Some(4));
+/// let spec = PodSpec::new("w", ResourceRequest::cpu(32_000, 64 << 30), 1.0);
+/// c.create_deployment("workers", spec, 3, SimTime::ZERO)?;
+/// assert_eq!(c.nodes_used(), 2); // two 32-core pods per 64-core node
+/// # Ok::<(), er_cluster::ScheduleError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    pools: Vec<NodePool>,
+    nodes: Vec<Node>,
+    deployments: BTreeMap<String, DeploymentState>,
+    next_pod_id: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster of `node_profile` nodes, provisioned on demand up
+    /// to `max_nodes` (unbounded when `None`).
+    pub fn new(node_profile: HardwareProfile, max_nodes: Option<usize>) -> Self {
+        Self::with_pools(vec![NodePool::new(node_profile, max_nodes)])
+    }
+
+    /// Creates a heterogeneous cluster from several node pools. Pods are
+    /// placed on the first pool (in order) that can host them, so list
+    /// cheaper pools first to prefer them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pools` is empty.
+    pub fn with_pools(pools: Vec<NodePool>) -> Self {
+        assert!(!pools.is_empty(), "a cluster needs at least one node pool");
+        Self {
+            pools,
+            nodes: Vec::new(),
+            deployments: BTreeMap::new(),
+            next_pod_id: 0,
+        }
+    }
+
+    /// The first pool's node hardware profile (the only profile for
+    /// single-pool clusters).
+    pub fn node_profile(&self) -> &HardwareProfile {
+        &self.pools[0].profile
+    }
+
+    /// The cluster's node pools.
+    pub fn pools(&self) -> &[NodePool] {
+        &self.pools
+    }
+
+    /// Creates a deployment with `replicas` initial pods.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is taken or the pods cannot be placed.
+    pub fn create_deployment(
+        &mut self,
+        name: impl Into<String>,
+        spec: PodSpec,
+        replicas: usize,
+        now: SimTime,
+    ) -> Result<(), ScheduleError> {
+        let name = name.into();
+        if self.deployments.contains_key(&name) {
+            return Err(ScheduleError::DuplicateDeployment(name));
+        }
+        self.deployments.insert(
+            name.clone(),
+            DeploymentState {
+                spec,
+                pods: Vec::new(),
+            },
+        );
+        self.scale_to(&name, replicas, now)
+    }
+
+    /// Creates a deployment whose *initial* pods are ready immediately —
+    /// a warmed-up service, as at the start of a measurement run. Pods
+    /// added by later `scale_to` calls pay the spec's startup delay as
+    /// usual.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cluster::create_deployment`].
+    pub fn create_deployment_warm(
+        &mut self,
+        name: impl Into<String>,
+        spec: PodSpec,
+        replicas: usize,
+        now: SimTime,
+    ) -> Result<(), ScheduleError> {
+        let name = name.into();
+        self.create_deployment(name.clone(), spec, replicas, now)?;
+        for pod in &mut self.deployments.get_mut(&name).expect("just created").pods {
+            pod.set_ready_at(now);
+        }
+        Ok(())
+    }
+
+    /// Scales a deployment to exactly `replicas` pods. New pods become
+    /// ready `startup_secs` after `now`; removed pods free their resources
+    /// immediately (newest-first, Kubernetes' default victim order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the deployment is unknown or a new pod cannot be
+    /// placed; pods placed before the failure remain.
+    pub fn scale_to(
+        &mut self,
+        name: &str,
+        replicas: usize,
+        now: SimTime,
+    ) -> Result<(), ScheduleError> {
+        let current = self
+            .deployments
+            .get(name)
+            .ok_or_else(|| ScheduleError::UnknownDeployment(name.to_owned()))?
+            .pods
+            .len();
+
+        if replicas > current {
+            for _ in current..replicas {
+                self.add_pod(name, now)?;
+            }
+        } else {
+            for _ in replicas..current {
+                self.remove_pod(name);
+            }
+        }
+        Ok(())
+    }
+
+    fn add_pod(&mut self, name: &str, now: SimTime) -> Result<(), ScheduleError> {
+        let (request, startup) = {
+            let d = &self.deployments[name];
+            (*d.spec.resources(), d.spec.startup_secs())
+        };
+        if !self
+            .pools
+            .iter()
+            .any(|p| ResourceRequest::default().fits_with(&request, &p.capacity()))
+        {
+            return Err(ScheduleError::PodLargerThanNode {
+                deployment: name.to_owned(),
+            });
+        }
+        // Choose among existing nodes in pool order; within a pool, spread
+        // the deployment's pods across nodes (Kubernetes topology-spread /
+        // anti-affinity semantics) so one node failure cannot take out a
+        // whole deployment. Ties break toward lower node indices, keeping
+        // placement deterministic and packing dense.
+        let mut same_dep_per_node = vec![0usize; self.nodes.len()];
+        for pod in &self.deployments[name].pods {
+            same_dep_per_node[pod.node()] += 1;
+        }
+        let mut node_idx = None;
+        for pool in 0..self.pools.len() {
+            let capacity = self.pools[pool].capacity();
+            let best = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| {
+                    n.pool == pool && !n.failed && n.allocated.fits_with(&request, &capacity)
+                })
+                .min_by_key(|&(i, _)| (same_dep_per_node[i], i))
+                .map(|(i, _)| i);
+            if best.is_some() {
+                node_idx = best;
+                break;
+            }
+        }
+        let node_idx = match node_idx {
+            Some(i) => i,
+            None => {
+                // Provision from the first pool that can host the pod and
+                // has budget left.
+                let mut provisioned = None;
+                for (pool, spec) in self.pools.iter().enumerate() {
+                    if !ResourceRequest::default().fits_with(&request, &spec.capacity()) {
+                        continue;
+                    }
+                    let in_pool = self
+                        .nodes
+                        .iter()
+                        .filter(|n| n.pool == pool && !n.failed)
+                        .count();
+                    if spec.max_nodes.is_some_and(|max| in_pool >= max) {
+                        continue;
+                    }
+                    provisioned = Some(pool);
+                    break;
+                }
+                let Some(pool) = provisioned else {
+                    return Err(ScheduleError::ClusterFull {
+                        deployment: name.to_owned(),
+                        max_nodes: self
+                            .pools
+                            .iter()
+                            .map(|p| p.max_nodes.unwrap_or(usize::MAX))
+                            .fold(0usize, |a, b| a.saturating_add(b)),
+                    });
+                };
+                self.nodes.push(Node {
+                    pool,
+                    allocated: ResourceRequest::default(),
+                    pods: 0,
+                    failed: false,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.nodes[node_idx].allocated = self.nodes[node_idx].allocated.plus(&request);
+        self.nodes[node_idx].pods += 1;
+        let pod = Pod::new(self.next_pod_id, node_idx, now + startup);
+        self.next_pod_id += 1;
+        self.deployments
+            .get_mut(name)
+            .expect("checked above")
+            .pods
+            .push(pod);
+        Ok(())
+    }
+
+    fn remove_pod(&mut self, name: &str) {
+        let d = self.deployments.get_mut(name).expect("caller checked");
+        let Some(pod) = d.pods.pop() else { return };
+        let request = *d.spec.resources();
+        let node = &mut self.nodes[pod.node()];
+        node.allocated = ResourceRequest {
+            cpu_millicores: node.allocated.cpu_millicores - request.cpu_millicores,
+            memory_bytes: node.allocated.memory_bytes - request.memory_bytes,
+            gpus: node.allocated.gpus - request.gpus,
+        };
+        node.pods -= 1;
+    }
+
+    /// Deletes a deployment and frees all its pods.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the deployment is unknown.
+    pub fn delete_deployment(&mut self, name: &str) -> Result<(), ScheduleError> {
+        if !self.deployments.contains_key(name) {
+            return Err(ScheduleError::UnknownDeployment(name.to_owned()));
+        }
+        while !self.deployments[name].pods.is_empty() {
+            self.remove_pod(name);
+        }
+        self.deployments.remove(name);
+        Ok(())
+    }
+
+    /// Desired (scheduled) replica count of a deployment, 0 if unknown.
+    pub fn replicas(&self, name: &str) -> usize {
+        self.deployments.get(name).map_or(0, |d| d.pods.len())
+    }
+
+    /// Replicas past their startup delay at `now`.
+    pub fn ready_replicas(&self, name: &str, now: SimTime) -> usize {
+        self.deployments
+            .get(name)
+            .map_or(0, |d| d.pods.iter().filter(|p| p.is_ready(now)).count())
+    }
+
+    /// The pods of a deployment (empty if unknown).
+    pub fn pods(&self, name: &str) -> &[Pod] {
+        self.deployments.get(name).map_or(&[], |d| &d.pods)
+    }
+
+    /// Deployment names in creation-independent (sorted) order.
+    pub fn deployment_names(&self) -> Vec<&str> {
+        self.deployments.keys().map(String::as_str).collect()
+    }
+
+    /// Total memory requested by all pods of all deployments — the paper's
+    /// "memory allocation size" metric.
+    pub fn memory_allocated_bytes(&self) -> u64 {
+        self.deployments
+            .values()
+            .map(|d| d.spec.resources().memory_bytes * d.pods.len() as u64)
+            .sum()
+    }
+
+    /// Memory requested by one deployment's pods.
+    pub fn deployment_memory_bytes(&self, name: &str) -> u64 {
+        self.deployments
+            .get(name)
+            .map_or(0, |d| d.spec.resources().memory_bytes * d.pods.len() as u64)
+    }
+
+    /// Number of provisioned nodes currently hosting at least one pod —
+    /// the paper's server-count cost metric.
+    pub fn nodes_used(&self) -> usize {
+        self.nodes.iter().filter(|n| n.pods > 0).count()
+    }
+
+    /// Number of nodes ever provisioned (including now-empty ones).
+    pub fn nodes_provisioned(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fails a node: every pod on it vanishes (its deployments shrink —
+    /// the autoscaler will notice and re-provision elsewhere) and the node
+    /// stops accepting pods. Returns `(deployment name, pods lost)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn fail_node(&mut self, node: usize) -> Vec<(String, usize)> {
+        assert!(node < self.nodes.len(), "node {node} out of range");
+        self.nodes[node].failed = true;
+        let mut losses = Vec::new();
+        for (name, state) in self.deployments.iter_mut() {
+            let before = state.pods.len();
+            state.pods.retain(|p| p.node() != node);
+            let lost = before - state.pods.len();
+            if lost > 0 {
+                losses.push((name.clone(), lost));
+            }
+        }
+        self.nodes[node].allocated = ResourceRequest::default();
+        self.nodes[node].pods = 0;
+        losses
+    }
+
+    /// Number of failed nodes.
+    pub fn failed_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.failed).count()
+    }
+
+    /// Per-node `(pool, allocated)` snapshots, for introspection and
+    /// invariant checking.
+    pub fn node_allocations(&self) -> Vec<(usize, ResourceRequest)> {
+        self.nodes.iter().map(|n| (n.pool, n.allocated)).collect()
+    }
+
+    /// Nodes of pool `pool` currently hosting at least one pod.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is out of range.
+    pub fn nodes_used_in_pool(&self, pool: usize) -> usize {
+        assert!(pool < self.pools.len(), "pool {pool} out of range");
+        self.nodes
+            .iter()
+            .filter(|n| n.pool == pool && n.pods > 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(cpu: u64, mem: u64) -> PodSpec {
+        PodSpec::new("p", ResourceRequest::cpu(cpu, mem), 2.0)
+    }
+
+    fn cluster(max: Option<usize>) -> Cluster {
+        Cluster::new(HardwareProfile::cpu_only_node(), max)
+    }
+
+    #[test]
+    fn pods_pack_first_fit() {
+        let mut c = cluster(None);
+        // 64-core nodes; 24-core pods -> 2 per node.
+        c.create_deployment("d", spec(24_000, 1 << 30), 5, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(c.nodes_used(), 3);
+        assert_eq!(c.replicas("d"), 5);
+    }
+
+    #[test]
+    fn memory_is_the_binding_constraint_when_larger() {
+        let mut c = cluster(None);
+        // 384 GB nodes; 200 GB pods -> 1 per node despite tiny CPU.
+        c.create_deployment("big", spec(1000, 200 << 30), 3, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(c.nodes_used(), 3);
+    }
+
+    #[test]
+    fn startup_delay_gates_readiness() {
+        let mut c = cluster(None);
+        c.create_deployment("d", spec(1000, 1 << 30), 2, SimTime::from_secs(10.0))
+            .unwrap();
+        assert_eq!(c.ready_replicas("d", SimTime::from_secs(10.0)), 0);
+        assert_eq!(c.ready_replicas("d", SimTime::from_secs(11.9)), 0);
+        assert_eq!(c.ready_replicas("d", SimTime::from_secs(12.0)), 2);
+    }
+
+    #[test]
+    fn scale_down_frees_resources() {
+        let mut c = cluster(None);
+        c.create_deployment("d", spec(32_000, 1 << 30), 4, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(c.nodes_used(), 2);
+        c.scale_to("d", 1, SimTime::ZERO).unwrap();
+        assert_eq!(c.replicas("d"), 1);
+        assert_eq!(c.nodes_used(), 1);
+        // Freed capacity is reused by a second deployment.
+        c.create_deployment("e", spec(32_000, 1 << 30), 3, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(c.nodes_used(), 2);
+    }
+
+    #[test]
+    fn node_cap_is_enforced() {
+        let mut c = cluster(Some(1));
+        let err = c
+            .create_deployment("d", spec(40_000, 1 << 30), 2, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::ClusterFull { max_nodes: 1, .. }
+        ));
+        // The first pod stayed.
+        assert_eq!(c.replicas("d"), 1);
+    }
+
+    #[test]
+    fn oversized_pod_is_rejected() {
+        let mut c = cluster(None);
+        let err = c
+            .create_deployment("d", spec(100_000, 1 << 30), 1, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::PodLargerThanNode { .. }));
+    }
+
+    #[test]
+    fn gpu_pods_need_gpu_nodes() {
+        let mut cpu_cluster = cluster(None);
+        let gpu_spec = PodSpec::new("g", ResourceRequest::with_gpu(1000, 1 << 30, 1), 1.0);
+        assert!(cpu_cluster
+            .create_deployment("d", gpu_spec.clone(), 1, SimTime::ZERO)
+            .is_err());
+
+        let mut gpu_cluster = Cluster::new(HardwareProfile::cpu_gpu_node(), None);
+        gpu_cluster
+            .create_deployment("d", gpu_spec, 2, SimTime::ZERO)
+            .unwrap();
+        // One GPU per node -> two nodes.
+        assert_eq!(gpu_cluster.nodes_used(), 2);
+    }
+
+    #[test]
+    fn memory_accounting_tracks_pods() {
+        let mut c = cluster(None);
+        c.create_deployment("a", spec(1000, 10 << 30), 2, SimTime::ZERO)
+            .unwrap();
+        c.create_deployment("b", spec(1000, 5 << 30), 1, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(c.memory_allocated_bytes(), (20 << 30) + (5 << 30));
+        assert_eq!(c.deployment_memory_bytes("a"), 20 << 30);
+        c.scale_to("a", 0, SimTime::ZERO).unwrap();
+        assert_eq!(c.memory_allocated_bytes(), 5 << 30);
+    }
+
+    #[test]
+    fn delete_deployment_frees_everything() {
+        let mut c = cluster(None);
+        c.create_deployment("d", spec(32_000, 1 << 30), 2, SimTime::ZERO)
+            .unwrap();
+        c.delete_deployment("d").unwrap();
+        assert_eq!(c.replicas("d"), 0);
+        assert_eq!(c.nodes_used(), 0);
+        assert!(c.delete_deployment("d").is_err());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_names_error() {
+        let mut c = cluster(None);
+        c.create_deployment("d", spec(1000, 1), 1, SimTime::ZERO)
+            .unwrap();
+        assert!(matches!(
+            c.create_deployment("d", spec(1000, 1), 1, SimTime::ZERO),
+            Err(ScheduleError::DuplicateDeployment(_))
+        ));
+        assert!(matches!(
+            c.scale_to("nope", 1, SimTime::ZERO),
+            Err(ScheduleError::UnknownDeployment(_))
+        ));
+    }
+
+    #[test]
+    fn heterogeneous_pools_prefer_earlier_pools() {
+        // CPU pool listed first: CPU pods land there; GPU pods spill to
+        // the GPU pool.
+        let mut c = Cluster::with_pools(vec![
+            NodePool::new(HardwareProfile::cpu_only_node(), None),
+            NodePool::new(HardwareProfile::cpu_gpu_node(), None),
+        ]);
+        c.create_deployment("cpu", spec(8_000, 1 << 30), 2, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(c.nodes_used_in_pool(0), 1);
+        assert_eq!(c.nodes_used_in_pool(1), 0);
+
+        let gpu_spec = PodSpec::new("g", ResourceRequest::with_gpu(1000, 1 << 30, 1), 1.0);
+        c.create_deployment("gpu", gpu_spec, 2, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(c.nodes_used_in_pool(0), 1);
+        assert_eq!(c.nodes_used_in_pool(1), 2); // one GPU per node
+        assert_eq!(c.nodes_used(), 3);
+    }
+
+    #[test]
+    fn pool_caps_are_independent() {
+        let mut c = Cluster::with_pools(vec![
+            NodePool::new(HardwareProfile::cpu_only_node(), Some(1)),
+            NodePool::new(HardwareProfile::cpu_gpu_node(), Some(2)),
+        ]);
+        // 40-core pods: one per CPU node; overflow goes to 32-core GPU
+        // nodes only if they fit — they don't (40 > 32), so the cluster
+        // fills at one pod.
+        let err = c
+            .create_deployment("big", spec(40_000, 1 << 30), 2, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::ClusterFull { .. }));
+        assert_eq!(c.replicas("big"), 1);
+        // Smaller pods spill over into the second pool (one per 32-core
+        // node), until that pool's cap also fills.
+        c.create_deployment("small", spec(30_000, 1 << 30), 2, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(c.nodes_used_in_pool(1), 2);
+        assert!(c.scale_to("small", 3, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn pod_too_big_for_every_pool_is_rejected() {
+        let mut c = Cluster::with_pools(vec![NodePool::new(HardwareProfile::cpu_gpu_node(), None)]);
+        let err = c
+            .create_deployment("huge", spec(64_000, 1 << 30), 1, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::PodLargerThanNode { .. }));
+    }
+
+    #[test]
+    fn warm_deployments_skip_initial_startup_only() {
+        let mut c = cluster(None);
+        let now = SimTime::from_secs(100.0);
+        c.create_deployment_warm("d", spec(1000, 1 << 30), 2, now)
+            .unwrap();
+        assert_eq!(c.ready_replicas("d", now), 2);
+        // Pods added later pay the 2 s startup.
+        c.scale_to("d", 3, now).unwrap();
+        assert_eq!(c.ready_replicas("d", now), 2);
+        assert_eq!(c.ready_replicas("d", SimTime::from_secs(102.0)), 3);
+    }
+
+    #[test]
+    fn replicas_spread_across_nodes() {
+        let mut c = cluster(None);
+        // Force two nodes into existence with a filler deployment.
+        c.create_deployment("filler", spec(40_000, 1 << 30), 2, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(c.nodes_used(), 2);
+        // Small pods would all fit on node 0; spread puts one per node.
+        c.create_deployment("svc", spec(4_000, 1 << 30), 2, SimTime::ZERO)
+            .unwrap();
+        let nodes: Vec<usize> = c.pods("svc").iter().map(|p| p.node()).collect();
+        assert_ne!(nodes[0], nodes[1], "replicas must not share a node");
+    }
+
+    #[test]
+    fn failed_node_loses_pods_and_stops_scheduling() {
+        let mut c = cluster(None);
+        // Two 24-core pods per 64-core node -> pods split across nodes.
+        c.create_deployment("d", spec(24_000, 1 << 30), 4, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(c.nodes_used(), 2);
+        let losses = c.fail_node(0);
+        assert_eq!(losses, vec![("d".to_string(), 2)]);
+        assert_eq!(c.replicas("d"), 2);
+        assert_eq!(c.failed_nodes(), 1);
+        // Re-scaling provisions around the failed node.
+        c.scale_to("d", 4, SimTime::from_secs(1.0)).unwrap();
+        assert_eq!(c.replicas("d"), 4);
+        assert!(c.pods("d").iter().all(|p| p.node() != 0));
+    }
+
+    #[test]
+    fn failing_an_empty_node_is_harmless() {
+        let mut c = cluster(None);
+        c.create_deployment("d", spec(1000, 1), 1, SimTime::ZERO)
+            .unwrap();
+        c.scale_to("d", 0, SimTime::ZERO).unwrap();
+        let losses = c.fail_node(0);
+        assert!(losses.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn failing_unknown_node_panics() {
+        cluster(None).fail_node(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node pool")]
+    fn empty_pools_panics() {
+        Cluster::with_pools(vec![]);
+    }
+
+    #[test]
+    fn scale_to_same_count_is_noop() {
+        let mut c = cluster(None);
+        c.create_deployment("d", spec(1000, 1), 3, SimTime::ZERO)
+            .unwrap();
+        let pods_before: Vec<u64> = c.pods("d").iter().map(Pod::id).collect();
+        c.scale_to("d", 3, SimTime::ZERO).unwrap();
+        let pods_after: Vec<u64> = c.pods("d").iter().map(Pod::id).collect();
+        assert_eq!(pods_before, pods_after);
+    }
+}

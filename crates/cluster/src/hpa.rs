@@ -1,0 +1,293 @@
+//! Horizontal Pod Autoscaling.
+//!
+//! Reimplements the Kubernetes HPA semantics ElasticRec relies on
+//! (Section IV-D): per-deployment targets, the
+//! `desired = ceil(current × metric / target)` scaling rule, a tolerance
+//! band so jitter does not flap replicas, and scale-down stabilization.
+//! ElasticRec sets a *throughput* target for sparse shards (each shard's
+//! profiled `QPS_max`) and a *latency* target for dense shards (65% of the
+//! SLA).
+
+use er_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What the autoscaler compares against its target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScalingTarget {
+    /// Scale so each replica carries at most this many queries/sec —
+    /// ElasticRec's sparse-shard policy (threshold = profiled `QPS_max`).
+    QpsPerReplica(f64),
+    /// Scale so observed p95 latency stays at or below this many seconds —
+    /// ElasticRec's dense-shard policy (65% of the 400 ms SLA).
+    LatencyP95Secs(f64),
+}
+
+/// A point-in-time metric observation for one deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Observation {
+    /// Aggregate queries/sec served by the deployment.
+    pub qps: f64,
+    /// p95 latency over the observation window, if any queries completed.
+    pub p95_latency_secs: Option<f64>,
+}
+
+/// Autoscaling policy for one deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HpaPolicy {
+    /// Floor on replicas (Kubernetes `minReplicas`).
+    pub min_replicas: usize,
+    /// Ceiling on replicas (Kubernetes `maxReplicas`).
+    pub max_replicas: usize,
+    /// The metric/target pair.
+    pub target: ScalingTarget,
+    /// Ignore deviations smaller than this fraction of the target
+    /// (Kubernetes' default tolerance is 0.1).
+    pub tolerance: f64,
+    /// Wait this long after the last scale-down before shrinking again
+    /// (Kubernetes' `stabilizationWindowSeconds`).
+    pub scale_down_stabilization_secs: f64,
+    /// Per-evaluation scale-up bound: grow to at most
+    /// `max(factor x current, current + pods)` — Kubernetes' default
+    /// scale-up policy (100% increase or 4 pods, whichever is higher).
+    pub max_scale_up_factor: f64,
+    /// See [`HpaPolicy::max_scale_up_factor`].
+    pub max_scale_up_pods: usize,
+}
+
+impl HpaPolicy {
+    /// A policy with Kubernetes-like defaults: tolerance 10%, 30 s
+    /// scale-down stabilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_replicas` is 0 or exceeds `max_replicas`.
+    pub fn new(min_replicas: usize, max_replicas: usize, target: ScalingTarget) -> Self {
+        assert!(
+            min_replicas >= 1 && min_replicas <= max_replicas,
+            "need 1 <= min ({min_replicas}) <= max ({max_replicas})"
+        );
+        Self {
+            min_replicas,
+            max_replicas,
+            target,
+            tolerance: 0.10,
+            scale_down_stabilization_secs: 60.0,
+            max_scale_up_factor: 2.0,
+            max_scale_up_pods: 4,
+        }
+    }
+}
+
+/// Stateful HPA evaluator for one deployment.
+///
+/// # Examples
+///
+/// ```
+/// use er_cluster::{HpaController, HpaPolicy, Observation, ScalingTarget};
+/// use er_sim::SimTime;
+///
+/// let policy = HpaPolicy::new(1, 10, ScalingTarget::QpsPerReplica(100.0));
+/// let mut hpa = HpaController::new(policy);
+/// let obs = Observation { qps: 450.0, p95_latency_secs: None };
+/// // 450 QPS at 100 QPS/replica -> 5 replicas.
+/// assert_eq!(hpa.evaluate(SimTime::ZERO, 2, obs), Some(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HpaController {
+    policy: HpaPolicy,
+    last_scale_down: Option<SimTime>,
+}
+
+impl HpaController {
+    /// Creates a controller with no scaling history.
+    pub fn new(policy: HpaPolicy) -> Self {
+        Self {
+            policy,
+            last_scale_down: None,
+        }
+    }
+
+    /// The controller's policy.
+    pub fn policy(&self) -> &HpaPolicy {
+        &self.policy
+    }
+
+    /// Raw desired replica count from the Kubernetes scaling rule, before
+    /// bounds, tolerance, and stabilization.
+    fn raw_desired(&self, current: usize, obs: &Observation) -> Option<(usize, f64)> {
+        match self.policy.target {
+            ScalingTarget::QpsPerReplica(target) => {
+                // metric per replica = qps/current; desired = ceil(current *
+                // metric/target) = ceil(qps/target).
+                let ratio = (obs.qps / current.max(1) as f64) / target;
+                Some(((obs.qps / target).ceil().max(0.0) as usize, ratio))
+            }
+            ScalingTarget::LatencyP95Secs(target) => {
+                let p95 = obs.p95_latency_secs?;
+                let ratio = p95 / target;
+                Some((((current as f64) * ratio).ceil().max(0.0) as usize, ratio))
+            }
+        }
+    }
+
+    /// Evaluates the policy. Returns `Some(new_replicas)` when the
+    /// deployment should be resized, `None` to leave it alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current` is zero — an HPA never manages a deployment with
+    /// no replicas.
+    pub fn evaluate(&mut self, now: SimTime, current: usize, obs: Observation) -> Option<usize> {
+        assert!(current > 0, "HPA requires at least one replica");
+        let (desired, ratio) = self.raw_desired(current, &obs)?;
+        // Kubernetes' scale-up rate limit: without it a latency spike
+        // during a backlog multiplies replicas straight to the cap.
+        let up_limit = ((current as f64) * self.policy.max_scale_up_factor)
+            .max((current + self.policy.max_scale_up_pods) as f64) as usize;
+        let desired = desired
+            .min(up_limit)
+            .clamp(self.policy.min_replicas, self.policy.max_replicas);
+
+        // Tolerance band: ignore small deviations (Kubernetes behaviour).
+        if (ratio - 1.0).abs() <= self.policy.tolerance {
+            return None;
+        }
+        if desired == current {
+            return None;
+        }
+        if desired < current {
+            // Scale-down stabilization window.
+            if let Some(last) = self.last_scale_down {
+                if now - last < self.policy.scale_down_stabilization_secs {
+                    return None;
+                }
+            }
+            self.last_scale_down = Some(now);
+        }
+        Some(desired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qps_policy() -> HpaPolicy {
+        HpaPolicy::new(1, 100, ScalingTarget::QpsPerReplica(50.0))
+    }
+
+    fn obs(qps: f64) -> Observation {
+        Observation {
+            qps,
+            p95_latency_secs: None,
+        }
+    }
+
+    #[test]
+    fn qps_target_scales_to_traffic() {
+        let mut hpa = HpaController::new(qps_policy());
+        // 500 QPS at 50/replica wants 10 replicas; the scale-up rate limit
+        // allows max(2x3, 3+4) = 7 this round.
+        assert_eq!(hpa.evaluate(SimTime::ZERO, 3, obs(500.0)), Some(7));
+        // The next round reaches the full 10.
+        assert_eq!(
+            hpa.evaluate(SimTime::from_secs(2.0), 7, obs(500.0)),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn scale_up_rate_limit_small_deployments_use_pod_floor() {
+        let mut hpa = HpaController::new(qps_policy());
+        // 1 replica wanting 100: limited to 1+4 = 5 (the pod floor beats 2x).
+        assert_eq!(hpa.evaluate(SimTime::ZERO, 1, obs(5000.0)), Some(5));
+    }
+
+    #[test]
+    fn within_tolerance_is_a_noop() {
+        let mut hpa = HpaController::new(qps_policy());
+        // 2 replicas at 52.5 QPS each = 105 total: ratio 1.05 < 1.1.
+        assert_eq!(hpa.evaluate(SimTime::ZERO, 2, obs(105.0)), None);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut hpa = HpaController::new(HpaPolicy::new(2, 5, ScalingTarget::QpsPerReplica(50.0)));
+        // Rate limit allows 7, but max_replicas caps at 5.
+        assert_eq!(hpa.evaluate(SimTime::ZERO, 3, obs(10_000.0)), Some(5));
+        let mut hpa2 = HpaController::new(HpaPolicy::new(2, 5, ScalingTarget::QpsPerReplica(50.0)));
+        assert_eq!(hpa2.evaluate(SimTime::ZERO, 4, obs(0.0)), Some(2));
+    }
+
+    #[test]
+    fn latency_target_scales_up_under_pressure() {
+        let policy = HpaPolicy::new(1, 50, ScalingTarget::LatencyP95Secs(0.26));
+        let mut hpa = HpaController::new(policy);
+        let o = Observation {
+            qps: 100.0,
+            p95_latency_secs: Some(0.52),
+        };
+        // ratio 2.0 -> double the replicas (exactly the rate limit).
+        assert_eq!(hpa.evaluate(SimTime::ZERO, 4, o), Some(8));
+    }
+
+    #[test]
+    fn latency_target_without_samples_is_noop() {
+        let policy = HpaPolicy::new(1, 50, ScalingTarget::LatencyP95Secs(0.26));
+        let mut hpa = HpaController::new(policy);
+        assert_eq!(hpa.evaluate(SimTime::ZERO, 4, obs(100.0)), None);
+    }
+
+    #[test]
+    fn scale_down_is_stabilized() {
+        let mut hpa = HpaController::new(qps_policy());
+        // First scale-down goes through.
+        assert_eq!(
+            hpa.evaluate(SimTime::from_secs(100.0), 10, obs(100.0)),
+            Some(2)
+        );
+        // A second one within the window is suppressed.
+        assert_eq!(
+            hpa.evaluate(SimTime::from_secs(110.0), 10, obs(100.0)),
+            None
+        );
+        // After the window it proceeds.
+        assert_eq!(
+            hpa.evaluate(SimTime::from_secs(161.0), 10, obs(100.0)),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn scale_up_is_never_stabilized() {
+        let mut hpa = HpaController::new(qps_policy());
+        assert_eq!(
+            hpa.evaluate(SimTime::from_secs(1.0), 10, obs(100.0)),
+            Some(2)
+        );
+        // Immediately after a scale-down, a burst still scales up (to the
+        // rate limit: 2+4 = 6).
+        assert_eq!(
+            hpa.evaluate(SimTime::from_secs(2.0), 2, obs(1000.0)),
+            Some(6)
+        );
+    }
+
+    #[test]
+    fn zero_traffic_shrinks_to_min() {
+        let mut hpa = HpaController::new(qps_policy());
+        assert_eq!(hpa.evaluate(SimTime::ZERO, 8, obs(0.0)), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_current_panics() {
+        HpaController::new(qps_policy()).evaluate(SimTime::ZERO, 0, obs(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "min")]
+    fn invalid_bounds_panic() {
+        HpaPolicy::new(5, 2, ScalingTarget::QpsPerReplica(1.0));
+    }
+}

@@ -1,0 +1,49 @@
+//! Kubernetes-substitute container orchestration for the ElasticRec
+//! reproduction.
+//!
+//! The paper deploys model shards as containers managed by Kubernetes
+//! (v1.26) with Horizontal Pod Autoscaling (Section II-B, IV-D). The
+//! experiments rely on a specific slice of Kubernetes semantics, which this
+//! crate reimplements over the `er-sim` virtual clock:
+//!
+//! * **Nodes** with finite CPU/memory/GPU capacity ([`HardwareProfile`]) —
+//!   presets for the paper's Xeon CPU cluster and GKE `n1-standard-32 + T4`
+//!   nodes;
+//! * **Pods** with resource requests and startup delays ([`PodSpec`]) —
+//!   startup is proportional to the model bytes a container loads, which is
+//!   what makes monolithic model-wise pods slow to react in Figure 19;
+//! * a first-fit bin-packing **scheduler** ([`Cluster`]) that provisions
+//!   additional nodes on demand (the "how many servers do we need" metric of
+//!   Figures 15/18);
+//! * **HPA** ([`HpaController`]) with Kubernetes' `desired = ceil(current ×
+//!   metric/target)` rule, tolerance band, and scale-down stabilization.
+//!
+//! # Examples
+//!
+//! ```
+//! use er_cluster::{Cluster, HardwareProfile, PodSpec, ResourceRequest};
+//! use er_sim::SimTime;
+//!
+//! let mut cluster = Cluster::new(HardwareProfile::cpu_only_node(), None);
+//! let spec = PodSpec::new(
+//!     "dense-shard",
+//!     ResourceRequest::cpu(8_000, 2 << 30),
+//!     5.0, // startup seconds
+//! );
+//! cluster.create_deployment("dense", spec, 2, SimTime::ZERO).unwrap();
+//! assert_eq!(cluster.replicas("dense"), 2);
+//! assert_eq!(cluster.ready_replicas("dense", SimTime::ZERO), 0); // still starting
+//! assert_eq!(cluster.ready_replicas("dense", SimTime::from_secs(5.0)), 2);
+//! ```
+
+mod cluster;
+mod hardware;
+mod hpa;
+mod pod;
+mod resources;
+
+pub use cluster::{Cluster, NodePool, ScheduleError};
+pub use hardware::{GpuSpec, HardwareProfile};
+pub use hpa::{HpaController, HpaPolicy, Observation, ScalingTarget};
+pub use pod::{Pod, PodSpec};
+pub use resources::ResourceRequest;

@@ -1,0 +1,128 @@
+//! Pods: the unit of deployment and resource allocation.
+
+use er_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::ResourceRequest;
+
+/// Template for a deployment's pods.
+///
+/// `startup_secs` models the time between scheduling and readiness —
+/// container start plus loading the model parameters the container serves.
+/// The paper's Figure 19 shows this is the decisive difference between
+/// model-wise pods (tens of GB to load) and ElasticRec's small shards.
+///
+/// # Examples
+///
+/// ```
+/// use er_cluster::{PodSpec, ResourceRequest};
+///
+/// let spec = PodSpec::new("emb-shard-a", ResourceRequest::cpu(2_000, 6 << 30), 8.0);
+/// assert_eq!(spec.name(), "emb-shard-a");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PodSpec {
+    name: String,
+    resources: ResourceRequest,
+    startup_secs: f64,
+}
+
+impl PodSpec {
+    /// Creates a pod template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `startup_secs` is negative or not finite.
+    pub fn new(name: impl Into<String>, resources: ResourceRequest, startup_secs: f64) -> Self {
+        assert!(
+            startup_secs.is_finite() && startup_secs >= 0.0,
+            "startup time must be finite and non-negative, got {startup_secs}"
+        );
+        Self {
+            name: name.into(),
+            resources,
+            startup_secs,
+        }
+    }
+
+    /// Template name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Resource requests per replica.
+    pub fn resources(&self) -> &ResourceRequest {
+        &self.resources
+    }
+
+    /// Seconds from scheduling to readiness.
+    pub fn startup_secs(&self) -> f64 {
+        self.startup_secs
+    }
+}
+
+/// A scheduled pod instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pod {
+    id: u64,
+    node: usize,
+    ready_at: SimTime,
+}
+
+impl Pod {
+    pub(crate) fn new(id: u64, node: usize, ready_at: SimTime) -> Self {
+        Self { id, node, ready_at }
+    }
+
+    /// Cluster-unique pod ID.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Index of the node hosting this pod.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// When the pod becomes ready to serve.
+    pub fn ready_at(&self) -> SimTime {
+        self.ready_at
+    }
+
+    /// Whether the pod is ready at `now`.
+    pub fn is_ready(&self, now: SimTime) -> bool {
+        now >= self.ready_at
+    }
+
+    pub(crate) fn set_ready_at(&mut self, at: SimTime) {
+        self.ready_at = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_accessors() {
+        let spec = PodSpec::new("x", ResourceRequest::cpu(100, 200), 1.5);
+        assert_eq!(spec.name(), "x");
+        assert_eq!(spec.resources().cpu_millicores, 100);
+        assert_eq!(spec.startup_secs(), 1.5);
+    }
+
+    #[test]
+    fn pod_readiness_tracks_time() {
+        let p = Pod::new(1, 0, SimTime::from_secs(10.0));
+        assert!(!p.is_ready(SimTime::from_secs(9.9)));
+        assert!(p.is_ready(SimTime::from_secs(10.0)));
+        assert_eq!(p.id(), 1);
+        assert_eq!(p.node(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "startup time")]
+    fn negative_startup_panics() {
+        PodSpec::new("x", ResourceRequest::default(), -1.0);
+    }
+}

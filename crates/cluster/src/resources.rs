@@ -1,0 +1,93 @@
+//! Schedulable resource quantities.
+
+use serde::{Deserialize, Serialize};
+
+/// Resources a pod requests from its node — the Kubernetes
+/// `resources.requests` block.
+///
+/// # Examples
+///
+/// ```
+/// use er_cluster::ResourceRequest;
+///
+/// let shard = ResourceRequest::cpu(4_000, 8 << 30); // 4 cores, 8 GiB
+/// let dense_gpu = ResourceRequest::with_gpu(8_000, 4 << 30, 1);
+/// assert!(dense_gpu.gpus > shard.gpus);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ResourceRequest {
+    /// CPU request in millicores (1000 = one core).
+    pub cpu_millicores: u64,
+    /// Memory request in bytes.
+    pub memory_bytes: u64,
+    /// Whole GPUs requested.
+    pub gpus: u32,
+}
+
+impl ResourceRequest {
+    /// A CPU-only request.
+    pub fn cpu(cpu_millicores: u64, memory_bytes: u64) -> Self {
+        Self {
+            cpu_millicores,
+            memory_bytes,
+            gpus: 0,
+        }
+    }
+
+    /// A request including GPUs (the paper's GPU-centric dense containers).
+    pub fn with_gpu(cpu_millicores: u64, memory_bytes: u64, gpus: u32) -> Self {
+        Self {
+            cpu_millicores,
+            memory_bytes,
+            gpus,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &ResourceRequest) -> ResourceRequest {
+        ResourceRequest {
+            cpu_millicores: self.cpu_millicores + other.cpu_millicores,
+            memory_bytes: self.memory_bytes + other.memory_bytes,
+            gpus: self.gpus + other.gpus,
+        }
+    }
+
+    /// Whether `self + extra` fits within `capacity`.
+    pub fn fits_with(&self, extra: &ResourceRequest, capacity: &ResourceRequest) -> bool {
+        let total = self.plus(extra);
+        total.cpu_millicores <= capacity.cpu_millicores
+            && total.memory_bytes <= capacity.memory_bytes
+            && total.gpus <= capacity.gpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_sums_componentwise() {
+        let a = ResourceRequest::cpu(1000, 100);
+        let b = ResourceRequest::with_gpu(500, 50, 1);
+        let s = a.plus(&b);
+        assert_eq!(s, ResourceRequest::with_gpu(1500, 150, 1));
+    }
+
+    #[test]
+    fn fits_checks_every_dimension() {
+        let cap = ResourceRequest::with_gpu(4000, 1000, 1);
+        let used = ResourceRequest::cpu(3000, 500);
+        assert!(used.fits_with(&ResourceRequest::cpu(1000, 500), &cap));
+        assert!(!used.fits_with(&ResourceRequest::cpu(1001, 0), &cap)); // cpu
+        assert!(!used.fits_with(&ResourceRequest::cpu(0, 501), &cap)); // mem
+        assert!(used.fits_with(&ResourceRequest::with_gpu(0, 0, 1), &cap));
+        assert!(!used.fits_with(&ResourceRequest::with_gpu(0, 0, 2), &cap)); // gpu
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let d = ResourceRequest::default();
+        assert_eq!(d.cpu_millicores, 0);
+        assert_eq!(d.gpus, 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! The functional sharded serving path.
+//!
+//! [`ShardedDlrm`] executes a DLRM exactly the way ElasticRec's
+//! microservices do — hotness-sort each table (Figure 8), bucketize each
+//! query's lookups onto the partitioned shards (Figure 11), gather and
+//! pool *within* each shard, and sum the partial pools — and is verified
+//! to produce the same results as the monolithic model. This is the
+//! correctness argument for the whole decomposition: partitioning is an
+//! execution detail, not a model change.
+
+use er_distribution::sorting::HotnessPermutation;
+use er_model::{Dlrm, EmbeddingTable, QueryBatch, TableLookup};
+use er_partition::{bucketize, PartitionPlan};
+use er_tensor::Matrix;
+
+/// A DLRM decomposed into embedding shards, functionally equivalent to the
+/// monolithic model it was built from.
+///
+/// # Examples
+///
+/// ```
+/// use elasticrec::ShardedDlrm;
+/// use er_model::{configs, Dlrm, QueryGenerator};
+/// use er_partition::PartitionPlan;
+/// use er_sim::SimRng;
+///
+/// let cfg = configs::rm1().scaled_tables(200).with_num_tables(2);
+/// let model = Dlrm::with_seed(&cfg, 1);
+/// let counts: Vec<Vec<u64>> = vec![(0..200).map(|i| 200 - i).collect(); 2];
+/// let plans = vec![PartitionPlan::new(vec![20, 200], 200).unwrap(); 2];
+/// let sharded = ShardedDlrm::new(model.clone(), &counts, plans).unwrap();
+///
+/// let q = QueryGenerator::new(&cfg).generate(&mut SimRng::seed_from(3));
+/// let mono = model.forward(&q);
+/// let dist = sharded.forward(&q);
+/// assert!(mono.max_abs_diff(&dist) < 1e-4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedDlrm {
+    dlrm: Dlrm,
+    perms: Vec<HotnessPermutation>,
+    plans: Vec<PartitionPlan>,
+    /// `shard_tables[t][s]`: the physical storage of table `t`'s shard `s`
+    /// (sorted rows, sliced at the plan's cut points).
+    shard_tables: Vec<Vec<EmbeddingTable>>,
+}
+
+/// Error building a [`ShardedDlrm`] from mismatched inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardingError(String);
+
+impl std::fmt::Display for ShardingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ShardingError {}
+
+impl ShardedDlrm {
+    /// Decomposes `dlrm` using per-table access counts (for the hotness
+    /// sort) and partition plans.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of count vectors or plans does not
+    /// match the model's tables, or sizes disagree.
+    pub fn new(
+        dlrm: Dlrm,
+        access_counts: &[Vec<u64>],
+        plans: Vec<PartitionPlan>,
+    ) -> Result<Self, ShardingError> {
+        let tables = dlrm.tables();
+        if access_counts.len() != tables.len() || plans.len() != tables.len() {
+            return Err(ShardingError(format!(
+                "model has {} tables but got {} count vectors and {} plans",
+                tables.len(),
+                access_counts.len(),
+                plans.len()
+            )));
+        }
+        let mut perms = Vec::with_capacity(tables.len());
+        let mut shard_tables = Vec::with_capacity(tables.len());
+        for (t, table) in tables.iter().enumerate() {
+            if access_counts[t].len() != table.rows() as usize {
+                return Err(ShardingError(format!(
+                    "table {t} has {} rows but {} access counts",
+                    table.rows(),
+                    access_counts[t].len()
+                )));
+            }
+            if plans[t].table_len() != table.rows() as u64 {
+                return Err(ShardingError(format!(
+                    "table {t} has {} rows but the plan covers {}",
+                    table.rows(),
+                    plans[t].table_len()
+                )));
+            }
+            let perm = HotnessPermutation::from_counts(&access_counts[t]);
+            let sorted = table.permuted(|pos| perm.to_original(pos), table.rows());
+            let shards = plans[t]
+                .shards()
+                .into_iter()
+                .map(|(k, j)| sorted.slice(k as u32, j as u32))
+                .collect();
+            perms.push(perm);
+            shard_tables.push(shards);
+        }
+        Ok(Self {
+            dlrm,
+            perms,
+            plans,
+            shard_tables,
+        })
+    }
+
+    /// The underlying monolithic model.
+    pub fn dlrm(&self) -> &Dlrm {
+        &self.dlrm
+    }
+
+    /// The partition plans, per table.
+    pub fn plans(&self) -> &[PartitionPlan] {
+        &self.plans
+    }
+
+    /// Runs the sparse stage the distributed way for one table: remap to
+    /// sorted IDs, bucketize, gather per shard, sum the partial pools.
+    fn sparse_table(&self, t: usize, lookup: &TableLookup) -> Matrix {
+        let sorted = lookup.map_indices(|orig| self.perms[t].to_sorted(orig));
+        let buckets = bucketize(sorted.indices(), sorted.offsets(), &self.plans[t]);
+        let dim = self.dlrm.tables()[t].dim() as usize;
+        let mut pooled = Matrix::zeros(lookup.num_inputs(), dim);
+        for (s, table) in self.shard_tables[t].iter().enumerate() {
+            let shard_lookup =
+                TableLookup::new(buckets.indices[s].clone(), buckets.offsets[s].clone())
+                    .expect("bucketize emits valid offsets");
+            let partial = table.gather_pool(&shard_lookup);
+            pooled = pooled.add(&partial).expect("shapes match by construction");
+        }
+        pooled
+    }
+
+    /// Full forward pass through the sharded serving path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query addresses a different number of tables than the
+    /// model has.
+    pub fn forward(&self, query: &QueryBatch) -> Matrix {
+        assert_eq!(
+            query.lookups.len(),
+            self.plans.len(),
+            "query addresses {} tables, model has {}",
+            query.lookups.len(),
+            self.plans.len()
+        );
+        let bottom = self.dlrm.forward_bottom(&query.dense);
+        let pooled: Vec<Matrix> = query
+            .lookups
+            .iter()
+            .enumerate()
+            .map(|(t, l)| self.sparse_table(t, l))
+            .collect();
+        self.dlrm.forward_top(&bottom, &pooled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_model::{configs, QueryGenerator};
+    use er_sim::SimRng;
+
+    fn setup(
+        rows: u64,
+        tables: usize,
+        cuts: Vec<u64>,
+    ) -> (er_model::ModelConfig, Dlrm, ShardedDlrm) {
+        let cfg = configs::rm1().scaled_tables(rows).with_num_tables(tables);
+        let model = Dlrm::with_seed(&cfg, 11);
+        // Zipf-ish synthetic counts: entry i is hotter for smaller i after
+        // scrambling, to exercise a non-trivial permutation.
+        let counts: Vec<Vec<u64>> = (0..tables)
+            .map(|t| {
+                (0..rows)
+                    .map(|i| ((i * 7919 + t as u64 * 31) % rows) + 1)
+                    .collect()
+            })
+            .collect();
+        let plans = vec![PartitionPlan::new(cuts.clone(), rows).unwrap(); tables];
+        let sharded = ShardedDlrm::new(model.clone(), &counts, plans).unwrap();
+        (cfg, model, sharded)
+    }
+
+    #[test]
+    fn sharded_forward_matches_monolithic() {
+        let (cfg, model, sharded) = setup(300, 3, vec![30, 120, 300]);
+        let gen = QueryGenerator::new(&cfg);
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..5 {
+            let q = gen.generate(&mut rng);
+            let mono = model.forward(&q);
+            let dist = sharded.forward(&q);
+            assert!(
+                mono.max_abs_diff(&dist) < 1e-4,
+                "diff={}",
+                mono.max_abs_diff(&dist)
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_plan_matches_exactly_with_identity_counts() {
+        // Uniform counts -> stable sort -> identity permutation; a single
+        // shard then reproduces the monolithic pooling order exactly.
+        let cfg = configs::rm1().scaled_tables(100).with_num_tables(2);
+        let model = Dlrm::with_seed(&cfg, 3);
+        let counts = vec![vec![1u64; 100]; 2];
+        let plans = vec![PartitionPlan::single(100); 2];
+        let sharded = ShardedDlrm::new(model.clone(), &counts, plans).unwrap();
+        let q = QueryGenerator::new(&cfg).generate(&mut SimRng::seed_from(8));
+        assert_eq!(model.forward(&q), sharded.forward(&q));
+    }
+
+    #[test]
+    fn many_small_shards_still_match() {
+        let (cfg, model, sharded) = setup(64, 1, vec![4, 8, 16, 32, 64]);
+        let q = QueryGenerator::new(&cfg).generate(&mut SimRng::seed_from(2));
+        assert!(model.forward(&q).max_abs_diff(&sharded.forward(&q)) < 1e-4);
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let cfg = configs::rm1().scaled_tables(100).with_num_tables(2);
+        let model = Dlrm::with_seed(&cfg, 3);
+        // Wrong number of count vectors.
+        assert!(ShardedDlrm::new(
+            model.clone(),
+            &[vec![1; 100]],
+            vec![PartitionPlan::single(100); 2]
+        )
+        .is_err());
+        // Wrong count length.
+        assert!(ShardedDlrm::new(
+            model.clone(),
+            &[vec![1; 99], vec![1; 100]],
+            vec![PartitionPlan::single(100); 2]
+        )
+        .is_err());
+        // Wrong plan size.
+        assert!(ShardedDlrm::new(
+            model,
+            &[vec![1; 100], vec![1; 100]],
+            vec![PartitionPlan::single(99); 2]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accessors_expose_structure() {
+        let (_, _, sharded) = setup(100, 2, vec![10, 100]);
+        assert_eq!(sharded.plans().len(), 2);
+        assert_eq!(sharded.plans()[0].num_shards(), 2);
+        assert_eq!(sharded.dlrm().tables().len(), 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Steady-state replica sizing — the fixed-target-QPS experiments
+//! (Figures 13, 15, 16, 18, 20).
+
+use er_cluster::{Cluster, NodePool, ScheduleError};
+use er_sim::SimTime;
+
+use crate::{Calibration, Platform, ServingPlan};
+
+/// Fraction of a replica's stress-tested `QPS_max` the autoscaler sustains
+/// in steady state. Kubernetes HPA converges to the target with a little
+/// headroom; running replicas at 100% of `QPS_max` would blow the tail
+/// latency the moment traffic jitters.
+pub const STEADY_UTILIZATION: f64 = 0.85;
+
+/// The converged deployment for a fixed target QPS: what Kubernetes HPA
+/// settles on once traffic is steady.
+///
+/// # Examples
+///
+/// ```
+/// use elasticrec::{plan, Calibration, Platform, Strategy, SteadyState};
+/// use er_model::configs;
+///
+/// let calib = Calibration::cpu_only();
+/// let p = plan(&configs::rm1(), Platform::CpuOnly, Strategy::ModelWise, &calib);
+/// let s = SteadyState::size(&p, 100.0, &calib).unwrap();
+/// assert!(s.nodes_used >= 1);
+/// assert!(s.memory_bytes >= 23 << 30); // at least one whole-model copy
+/// ```
+#[derive(Debug, Clone)]
+pub struct SteadyState {
+    /// `(deployment name, replica count)` in plan order.
+    pub replicas: Vec<(String, usize)>,
+    /// Total memory allocated across all shard replicas — the paper's
+    /// "memory allocation size" metric.
+    pub memory_bytes: u64,
+    /// Server nodes hosting at least one pod — the paper's cost metric.
+    pub nodes_used: usize,
+    /// Nodes in use per pool, in pool order (one entry for the paper's
+    /// homogeneous clusters).
+    pub nodes_per_pool: Vec<usize>,
+    /// The target QPS the sizing satisfies.
+    pub target_qps: f64,
+}
+
+impl SteadyState {
+    /// Sizes every shard deployment for `target_qps` and bin-packs the
+    /// replicas onto cluster nodes.
+    ///
+    /// Every shard sees the full query stream (each query fans out to all
+    /// shards), so each deployment independently needs
+    /// `ceil(target / (QPS_max × utilization))` replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleError`] if a pod cannot fit on a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_qps` is non-positive.
+    pub fn size(
+        serving_plan: &ServingPlan,
+        target_qps: f64,
+        calib: &Calibration,
+    ) -> Result<Self, ScheduleError> {
+        let profile = calib.node_profile(serving_plan.platform == Platform::CpuGpu);
+        Self::size_with_pools(serving_plan, target_qps, vec![NodePool::new(profile, None)])
+    }
+
+    /// Like [`SteadyState::size`], but over a heterogeneous cluster of node
+    /// pools (an extension beyond the paper's homogeneous testbeds; pods
+    /// prefer earlier pools).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleError`] if a pod cannot fit on any pool's node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_qps` is non-positive or `pools` is empty.
+    pub fn size_with_pools(
+        serving_plan: &ServingPlan,
+        target_qps: f64,
+        pools: Vec<NodePool>,
+    ) -> Result<Self, ScheduleError> {
+        assert!(
+            target_qps.is_finite() && target_qps > 0.0,
+            "target QPS must be positive, got {target_qps}"
+        );
+        let num_pools = pools.len();
+        let mut cluster = Cluster::with_pools(pools);
+        let mut replicas = Vec::with_capacity(serving_plan.shards.len());
+        for shard in &serving_plan.shards {
+            let n = Self::replicas_for(shard.qps_max(), target_qps);
+            cluster.create_deployment(&shard.name, shard.pod.clone(), n, SimTime::ZERO)?;
+            replicas.push((shard.name.clone(), n));
+        }
+        Ok(Self {
+            replicas,
+            memory_bytes: cluster.memory_allocated_bytes(),
+            nodes_used: cluster.nodes_used(),
+            nodes_per_pool: (0..num_pools)
+                .map(|i| cluster.nodes_used_in_pool(i))
+                .collect(),
+            target_qps,
+        })
+    }
+
+    /// Replicas needed for one deployment at a target rate.
+    pub fn replicas_for(qps_max: f64, target_qps: f64) -> usize {
+        (target_qps / (qps_max * STEADY_UTILIZATION))
+            .ceil()
+            .max(1.0) as usize
+    }
+
+    /// Replica count of a deployment, 0 if unknown.
+    pub fn replicas_of(&self, name: &str) -> usize {
+        self.replicas
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, c)| c)
+    }
+
+    /// Total replicas across all deployments.
+    pub fn total_replicas(&self) -> usize {
+        self.replicas.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Memory in GiB, for reporting.
+    pub fn memory_gib(&self) -> f64 {
+        self.memory_bytes as f64 / (1u64 << 30) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{plan, Strategy};
+    use er_model::configs;
+
+    fn calib() -> Calibration {
+        Calibration::cpu_only()
+    }
+
+    #[test]
+    fn replica_arithmetic() {
+        assert_eq!(SteadyState::replicas_for(100.0, 50.0), 1);
+        assert_eq!(SteadyState::replicas_for(100.0, 100.0), 2); // headroom
+        assert_eq!(SteadyState::replicas_for(10.0, 100.0), 12);
+        assert_eq!(SteadyState::replicas_for(1e9, 1.0), 1); // floor at one
+    }
+
+    #[test]
+    fn elastic_beats_model_wise_on_memory_for_every_rm() {
+        let c = calib();
+        for cfg in configs::all_rms() {
+            let mw = plan(&cfg, Platform::CpuOnly, Strategy::ModelWise, &c);
+            let el = plan(&cfg, Platform::CpuOnly, Strategy::Elastic, &c);
+            let mw_s = SteadyState::size(&mw, 100.0, &c).unwrap();
+            let el_s = SteadyState::size(&el, 100.0, &c).unwrap();
+            assert!(
+                el_s.memory_bytes < mw_s.memory_bytes,
+                "{}: elastic {} >= mw {}",
+                cfg.name,
+                el_s.memory_gib(),
+                mw_s.memory_gib()
+            );
+        }
+    }
+
+    #[test]
+    fn elastic_uses_no_more_nodes_than_model_wise() {
+        let c = calib();
+        for cfg in configs::all_rms() {
+            let mw = plan(&cfg, Platform::CpuOnly, Strategy::ModelWise, &c);
+            let el = plan(&cfg, Platform::CpuOnly, Strategy::Elastic, &c);
+            let mw_s = SteadyState::size(&mw, 100.0, &c).unwrap();
+            let el_s = SteadyState::size(&el, 100.0, &c).unwrap();
+            assert!(
+                el_s.nodes_used <= mw_s.nodes_used,
+                "{}: elastic {} > mw {}",
+                cfg.name,
+                el_s.nodes_used,
+                mw_s.nodes_used
+            );
+        }
+    }
+
+    #[test]
+    fn memory_scales_with_target_for_model_wise() {
+        let c = calib();
+        let mw = plan(&configs::rm1(), Platform::CpuOnly, Strategy::ModelWise, &c);
+        let lo = SteadyState::size(&mw, 50.0, &c).unwrap();
+        let hi = SteadyState::size(&mw, 500.0, &c).unwrap();
+        assert!(hi.memory_bytes > 2 * lo.memory_bytes);
+        assert!(hi.total_replicas() > lo.total_replicas());
+    }
+
+    #[test]
+    fn hot_shards_get_more_replicas_at_high_traffic() {
+        let c = calib();
+        let el = plan(&configs::rm1(), Platform::CpuOnly, Strategy::Elastic, &c);
+        let s = SteadyState::size(&el, 400.0, &c).unwrap();
+        // Shard 0 of table 0 is the hot head.
+        let hot = s.replicas_of("emb-t0-s0");
+        let plan0 = &el.table_plans[0];
+        let coldest = s.replicas_of(&format!("emb-t0-s{}", plan0.num_shards() - 1));
+        assert!(hot >= coldest, "hot={hot} cold={coldest}");
+    }
+
+    #[test]
+    fn replicas_of_unknown_is_zero() {
+        let c = calib();
+        let mw = plan(&configs::rm1(), Platform::CpuOnly, Strategy::ModelWise, &c);
+        let s = SteadyState::size(&mw, 100.0, &c).unwrap();
+        assert_eq!(s.replicas_of("nope"), 0);
+        assert!(s.replicas_of("model-wise") >= 1);
+    }
+
+    #[test]
+    fn pooled_sizing_moves_sparse_shards_to_cpu_nodes() {
+        use er_cluster::{HardwareProfile, NodePool};
+        let c = Calibration::cpu_gpu();
+        let el = plan(&configs::rm1(), Platform::CpuGpu, Strategy::Elastic, &c);
+        let mixed = SteadyState::size_with_pools(
+            &el,
+            200.0,
+            vec![
+                NodePool::new(HardwareProfile::cpu_only_node(), None),
+                NodePool::new(HardwareProfile::cpu_gpu_node(), None),
+            ],
+        )
+        .unwrap();
+        assert_eq!(mixed.nodes_per_pool.len(), 2);
+        // Dense shards need GPUs; sparse shards prefer the CPU pool.
+        assert!(mixed.nodes_per_pool[0] >= 1, "{:?}", mixed.nodes_per_pool);
+        assert!(mixed.nodes_per_pool[1] >= 1, "{:?}", mixed.nodes_per_pool);
+        // Homogeneous sizing reports a single pool.
+        let homo = SteadyState::size(&el, 200.0, &c).unwrap();
+        assert_eq!(homo.nodes_per_pool.len(), 1);
+        assert_eq!(homo.nodes_per_pool[0], homo.nodes_used);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_target_panics() {
+        let c = calib();
+        let mw = plan(&configs::rm1(), Platform::CpuOnly, Strategy::ModelWise, &c);
+        let _ = SteadyState::size(&mw, 0.0, &c);
+    }
+}

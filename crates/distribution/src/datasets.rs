@@ -1,0 +1,137 @@
+//! Synthetic stand-ins for the paper's real-world datasets (Figure 6).
+//!
+//! The paper characterizes Amazon Books, Criteo, and MovieLens solely by the
+//! skew of their embedding access patterns, summarized by the locality
+//! metric `P` (Section V-C reports P=94% for MovieLens). Since the raw logs
+//! are not available here, each dataset is modeled as a Zipf distribution
+//! calibrated to a representative `P` — this preserves exactly the property
+//! the system exploits.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LocalityTarget, ZipfDistribution};
+
+/// A named synthetic dataset profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Human-readable dataset name.
+    pub name: &'static str,
+    /// Number of distinct embedding entries (items).
+    pub num_items: u64,
+    /// Locality metric: fraction of accesses covered by the hottest 10% of
+    /// items.
+    pub locality_p: f64,
+}
+
+/// Amazon Books reviews: large catalogue, strong head concentration.
+pub const AMAZON_BOOKS: DatasetProfile = DatasetProfile {
+    name: "amazon-books",
+    num_items: 2_000_000,
+    locality_p: 0.86,
+};
+
+/// Criteo display-ads: the classic CTR benchmark behind DLRM.
+pub const CRITEO: DatasetProfile = DatasetProfile {
+    name: "criteo",
+    num_items: 10_000_000,
+    locality_p: 0.90,
+};
+
+/// MovieLens: the paper quotes 94% of accesses covered by the top 10% of
+/// entries.
+pub const MOVIELENS: DatasetProfile = DatasetProfile {
+    name: "movielens",
+    num_items: 60_000,
+    locality_p: 0.94,
+};
+
+/// All built-in dataset profiles, in the order Figure 6 plots them.
+pub const ALL: [DatasetProfile; 3] = [AMAZON_BOOKS, CRITEO, MOVIELENS];
+
+impl DatasetProfile {
+    /// Builds the calibrated access distribution for this dataset.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use er_distribution::datasets::MOVIELENS;
+    /// use er_distribution::AccessModel;
+    ///
+    /// let d = MOVIELENS.distribution();
+    /// assert!((d.cdf(6_000) - 0.94).abs() < 0.01);
+    /// ```
+    pub fn distribution(&self) -> ZipfDistribution {
+        LocalityTarget::new(self.locality_p).solve(self.num_items)
+    }
+
+    /// Expected access counts for a log-spaced set of ranks, given `total`
+    /// simulated lookups — the series plotted (log-y) in Figure 6.
+    pub fn frequency_curve(&self, total: u64, points: usize) -> Vec<(u64, f64)> {
+        assert!(points >= 2, "need at least two curve points");
+        let dist = self.distribution();
+        let max_rank = self.num_items as f64;
+        (0..points)
+            .map(|i| {
+                let frac = i as f64 / (points - 1) as f64;
+                let rank = (max_rank.powf(frac)).round().max(1.0) as u64;
+                (rank, dist.expected_count(rank, total))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessModel;
+
+    #[test]
+    fn every_profile_hits_its_locality() {
+        for d in ALL {
+            let dist = d.distribution();
+            let head = d.num_items / 10;
+            let got = dist.cdf(head);
+            assert!(
+                (got - d.locality_p).abs() < 0.01,
+                "{}: wanted {} got {got}",
+                d.name,
+                d.locality_p
+            );
+        }
+    }
+
+    #[test]
+    fn movielens_matches_paper_quote() {
+        assert_eq!(MOVIELENS.locality_p, 0.94);
+    }
+
+    #[test]
+    fn frequency_curve_is_non_increasing() {
+        let curve = CRITEO.frequency_curve(1_000_000, 20);
+        assert_eq!(curve.len(), 20);
+        for w in curve.windows(2) {
+            assert!(w[0].1 >= w[1].1 - 1e-9, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn frequency_curve_spans_full_rank_range() {
+        let curve = MOVIELENS.frequency_curve(1000, 10);
+        assert_eq!(curve.first().unwrap().0, 1);
+        assert_eq!(curve.last().unwrap().0, MOVIELENS.num_items);
+    }
+
+    #[test]
+    fn head_dominates_tail_by_orders_of_magnitude() {
+        let curve = AMAZON_BOOKS.frequency_curve(10_000_000, 5);
+        let head = curve.first().unwrap().1;
+        let tail = curve.last().unwrap().1;
+        assert!(head / tail > 1000.0, "head={head} tail={tail}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two curve points")]
+    fn single_point_curve_panics() {
+        MOVIELENS.frequency_curve(100, 1);
+    }
+}

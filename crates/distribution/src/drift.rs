@@ -1,0 +1,134 @@
+//! Hotness drift — how stale does a partitioning plan get?
+//!
+//! The paper sorts and partitions tables using a snapshot of access
+//! frequencies and notes that re-sorting is cheap and off the critical
+//! path (Section IV-B), but never quantifies what happens while the plan
+//! is stale. [`DriftedAccess`] models gradual popularity drift: a fraction
+//! `d` of the access mass migrates away from the snapshot's hot ranks and
+//! lands uniformly across the table. At `d = 0` the snapshot is exact; at
+//! `d = 1` it carries no information.
+
+use crate::AccessModel;
+
+/// A stale view of a drifted access distribution: mixture of the snapshot
+/// distribution (weight `1 − drift`) and the uniform distribution
+/// (weight `drift`), indexed by the *snapshot's* sorted ranks.
+///
+/// # Examples
+///
+/// ```
+/// use er_distribution::{AccessModel, DriftedAccess, LocalityTarget};
+///
+/// let snapshot = LocalityTarget::new(0.90).solve(1_000_000);
+/// let drifted = DriftedAccess::new(&snapshot, 0.5);
+/// // Half the mass has left the hot head.
+/// let head = drifted.cdf(100_000);
+/// assert!((head - (0.5 * 0.90 + 0.5 * 0.10)).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DriftedAccess<'a, M: AccessModel> {
+    base: &'a M,
+    drift: f64,
+}
+
+impl<'a, M: AccessModel> DriftedAccess<'a, M> {
+    /// Wraps a snapshot distribution with a drift fraction in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drift` is outside `[0, 1]`.
+    pub fn new(base: &'a M, drift: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drift),
+            "drift must be in [0,1], got {drift}"
+        );
+        Self { base, drift }
+    }
+
+    /// The drift fraction.
+    pub fn drift(&self) -> f64 {
+        self.drift
+    }
+}
+
+impl<M: AccessModel> AccessModel for DriftedAccess<'_, M> {
+    fn len(&self) -> u64 {
+        self.base.len()
+    }
+
+    fn cdf(&self, x: u64) -> f64 {
+        let uniform = x.min(self.len()) as f64 / self.len() as f64;
+        (1.0 - self.drift) * self.base.cdf(x) + self.drift * uniform
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LocalityTarget, ZipfDistribution};
+
+    fn base() -> ZipfDistribution {
+        LocalityTarget::new(0.90).solve(100_000)
+    }
+
+    #[test]
+    fn zero_drift_is_the_snapshot() {
+        let b = base();
+        let d = DriftedAccess::new(&b, 0.0);
+        for x in [0u64, 10, 10_000, 100_000] {
+            assert_eq!(d.cdf(x), b.cdf(x));
+        }
+        assert_eq!(d.drift(), 0.0);
+    }
+
+    #[test]
+    fn full_drift_is_uniform() {
+        let b = base();
+        let d = DriftedAccess::new(&b, 1.0);
+        assert!((d.cdf(10_000) - 0.10).abs() < 1e-9);
+        assert!((d.cdf(50_000) - 0.50).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_stays_monotone_and_normalized() {
+        let b = base();
+        for drift in [0.0, 0.3, 0.7, 1.0] {
+            let d = DriftedAccess::new(&b, drift);
+            let mut prev = 0.0;
+            for x in (0..=100_000).step_by(9973) {
+                let c = d.cdf(x);
+                assert!(c >= prev - 1e-12, "drift={drift} x={x}");
+                prev = c;
+            }
+            assert_eq!(d.cdf(0), 0.0);
+            assert!((d.cdf(100_000) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn drift_erodes_head_coverage_monotonically() {
+        let b = base();
+        let mut prev = f64::INFINITY;
+        for drift in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let head = DriftedAccess::new(&b, drift).cdf(10_000);
+            assert!(head < prev, "drift={drift}");
+            prev = head;
+        }
+    }
+
+    #[test]
+    fn coverage_is_a_linear_mixture() {
+        let b = base();
+        let d = DriftedAccess::new(&b, 0.4);
+        let got = d.coverage(1000, 50_000);
+        let expect = 0.6 * b.coverage(1000, 50_000) + 0.4 * (49_000.0 / 100_000.0);
+        assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "drift")]
+    fn out_of_range_drift_panics() {
+        let b = base();
+        let _ = DriftedAccess::new(&b, 1.5);
+    }
+}

@@ -1,0 +1,143 @@
+//! Solver for the paper's locality metric `P`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AccessModel, ZipfDistribution};
+
+/// The paper's locality metric (Section V-C): `P` is the fraction of all
+/// table accesses captured by the top 10% most frequently accessed vectors
+/// (e.g. `P = 0.94` for MovieLens; the RM workloads use `P = 0.90`).
+///
+/// [`LocalityTarget::solve`] finds the Zipf exponent whose distribution
+/// realizes the requested `P` for a table of a given size, by bisection on
+/// the (monotone) map exponent → coverage.
+///
+/// # Examples
+///
+/// ```
+/// use er_distribution::{AccessModel, LocalityTarget};
+///
+/// let z = LocalityTarget::new(0.50).solve(100_000);
+/// assert!((z.cdf(10_000) - 0.50).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalityTarget {
+    p: f64,
+}
+
+/// Fraction of the table that defines the "hot" head in the metric.
+const HEAD_FRACTION: f64 = 0.10;
+/// Upper bound for the exponent search; exponents past this are numerically
+/// indistinguishable at the table sizes we model.
+const MAX_EXPONENT: f64 = 8.0;
+
+impl LocalityTarget {
+    /// Creates a target with `p` in `[0.1, 1.0)`.
+    ///
+    /// `p` below the head fraction (10%) is unachievable — even a uniform
+    /// distribution covers 10% with the top 10% of entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0.1, 1.0)`.
+    pub fn new(p: f64) -> Self {
+        assert!(
+            (HEAD_FRACTION..1.0).contains(&p),
+            "locality P must be in [{HEAD_FRACTION}, 1.0), got {p}"
+        );
+        Self { p }
+    }
+
+    /// The target coverage fraction.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Finds the Zipf distribution over `n` items whose top-10% coverage is
+    /// `P`, to within `1e-4` of coverage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 10` (the 10% head would be empty).
+    pub fn solve(&self, n: u64) -> ZipfDistribution {
+        assert!(n >= 10, "table too small for the 10% locality metric: {n}");
+        let head = ((n as f64) * HEAD_FRACTION).round() as u64;
+        let coverage = |s: f64| ZipfDistribution::new(n, s).cdf(head);
+
+        if self.p <= coverage(0.0) {
+            return ZipfDistribution::new(n, 0.0);
+        }
+        let (mut lo, mut hi) = (0.0f64, MAX_EXPONENT);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if coverage(mid) < self.p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-10 {
+                break;
+            }
+        }
+        ZipfDistribution::new(n, 0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solved_distribution_hits_target() {
+        for &p in &[0.10, 0.30, 0.50, 0.70, 0.90, 0.94, 0.99] {
+            let n = 1_000_000;
+            let z = LocalityTarget::new(p).solve(n);
+            let got = z.cdf(n / 10);
+            assert!((got - p).abs() < 0.005, "p={p} got={got}");
+        }
+    }
+
+    #[test]
+    fn p_ten_percent_is_uniform() {
+        let z = LocalityTarget::new(0.10).solve(1000);
+        assert_eq!(z.exponent(), 0.0);
+    }
+
+    #[test]
+    fn higher_p_needs_higher_exponent() {
+        let low = LocalityTarget::new(0.50).solve(100_000);
+        let high = LocalityTarget::new(0.90).solve(100_000);
+        assert!(high.exponent() > low.exponent());
+    }
+
+    #[test]
+    fn works_at_paper_scale() {
+        // RM1-3: 20M entries, P = 90%.
+        let z = LocalityTarget::new(0.90).solve(20_000_000);
+        let got = z.cdf(2_000_000);
+        assert!((got - 0.90).abs() < 0.005, "got={got}");
+    }
+
+    #[test]
+    fn accessor_returns_p() {
+        assert_eq!(LocalityTarget::new(0.5).p(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "locality P")]
+    fn p_below_head_fraction_panics() {
+        LocalityTarget::new(0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "locality P")]
+    fn p_of_one_panics() {
+        LocalityTarget::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_table_panics() {
+        LocalityTarget::new(0.5).solve(5);
+    }
+}

@@ -1,0 +1,91 @@
+//! The access-model abstraction shared by analytic and empirical
+//! distributions.
+
+/// A probability model over a *hotness-sorted* embedding table.
+///
+/// Ranks are 1-based: rank 1 is the hottest entry (paper Figure 8(b)). The
+/// deployment-cost estimator (Algorithm 1) consumes only this interface —
+/// `CDF(j) - CDF(k)` gives the fraction of gathers a shard spanning sorted
+/// ranks `(k, j]` will serve.
+pub trait AccessModel {
+    /// Number of entries in the table.
+    fn len(&self) -> u64;
+
+    /// Whether the table is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of all accesses covered by the `x` hottest entries
+    /// (`cdf(0) == 0`, `cdf(len()) == 1`, non-decreasing).
+    fn cdf(&self, x: u64) -> f64;
+
+    /// Fraction of accesses falling on sorted ranks in `(k, j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > j` or `j > len()`.
+    fn coverage(&self, k: u64, j: u64) -> f64 {
+        assert!(k <= j && j <= self.len(), "invalid rank range ({k}, {j}]");
+        (self.cdf(j) - self.cdf(k)).max(0.0)
+    }
+
+    /// Probability mass of the entry at sorted rank `r` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is 0 or exceeds `len()`.
+    fn pmf(&self, r: u64) -> f64 {
+        assert!(r >= 1 && r <= self.len(), "rank {r} out of range");
+        self.coverage(r - 1, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Uniform model for exercising the provided methods.
+    struct Uniform(u64);
+
+    impl AccessModel for Uniform {
+        fn len(&self) -> u64 {
+            self.0
+        }
+        fn cdf(&self, x: u64) -> f64 {
+            x as f64 / self.0 as f64
+        }
+    }
+
+    #[test]
+    fn coverage_is_cdf_difference() {
+        let u = Uniform(100);
+        assert!((u.coverage(10, 30) - 0.2).abs() < 1e-12);
+        assert_eq!(u.coverage(50, 50), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let u = Uniform(10);
+        let total: f64 = (1..=10).map(|r| u.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn is_empty_reflects_len() {
+        assert!(Uniform(0).is_empty());
+        assert!(!Uniform(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rank range")]
+    fn inverted_range_panics() {
+        Uniform(10).coverage(5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pmf_rank_zero_panics() {
+        Uniform(10).pmf(0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Embedding tables with gather and pooling — DLRM's sparse layer.
+
+use er_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::TableLookup;
+
+/// A materialized embedding table: `rows` vectors of `dim` `f32` elements.
+///
+/// This is the functional implementation used for correctness (the
+/// monolithic-vs-sharded equivalence tests) and small-scale serving; at the
+/// paper's 20M-row scale only the *configuration* is carried around and
+/// memory/latency are modeled analytically.
+///
+/// # Examples
+///
+/// ```
+/// use er_model::{EmbeddingTable, TableLookup};
+///
+/// let table = EmbeddingTable::with_seed(100, 8, 7);
+/// let lookup = TableLookup::new(vec![0, 5, 99], vec![0, 2]).unwrap();
+/// let pooled = table.gather_pool(&lookup);
+/// assert_eq!(pooled.shape(), (2, 8)); // two inputs, dim 8
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingTable {
+    rows: u32,
+    dim: u32,
+    data: Vec<f32>,
+}
+
+impl EmbeddingTable {
+    /// Creates a table with small random values from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `dim` is zero.
+    pub fn with_seed(rows: u32, dim: u32, seed: u64) -> Self {
+        assert!(rows > 0 && dim > 0, "table dimensions must be non-zero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..rows as usize * dim as usize)
+            .map(|_| rng.gen_range(-0.1..0.1))
+            .collect();
+        Self { rows, dim, data }
+    }
+
+    /// Creates a table from explicit per-row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or widths are ragged.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "table must have at least one row");
+        let dim = rows[0].len();
+        assert!(dim > 0, "rows must be non-empty");
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), dim, "row {i} has inconsistent width");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len() as u32,
+            dim: dim as u32,
+            data,
+        }
+    }
+
+    /// Number of embedding vectors.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Storage footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.data.len() as u64 * 4
+    }
+
+    /// The vector at row `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= rows()`.
+    pub fn vector(&self, id: u32) -> &[f32] {
+        assert!(
+            id < self.rows,
+            "embedding id {id} out of range ({})",
+            self.rows
+        );
+        let d = self.dim as usize;
+        &self.data[id as usize * d..(id as usize + 1) * d]
+    }
+
+    /// Gathers and sum-pools the vectors requested by `lookup`, producing one
+    /// pooled vector per input (the `EmbeddingBag` operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather_pool(&self, lookup: &TableLookup) -> Matrix {
+        let n_inputs = lookup.num_inputs();
+        let mut out = Matrix::zeros(n_inputs, self.dim as usize);
+        for input in 0..n_inputs {
+            let row = out.row_mut(input);
+            for &id in lookup.indices_for(input) {
+                for (o, &v) in row.iter_mut().zip(self.vector(id)) {
+                    *o += v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Extracts the sub-table covering rows `[start, end)` — how a
+    /// partitioned embedding shard's storage is built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` or `end > rows()`.
+    pub fn slice(&self, start: u32, end: u32) -> EmbeddingTable {
+        assert!(
+            start < end && end <= self.rows,
+            "invalid slice [{start}, {end})"
+        );
+        let d = self.dim as usize;
+        EmbeddingTable {
+            rows: end - start,
+            dim: self.dim,
+            data: self.data[start as usize * d..end as usize * d].to_vec(),
+        }
+    }
+
+    /// Reorders rows by a permutation (`out[pos] = self[perm_to_original(pos)]`)
+    /// — the physical layout change of the Figure 8 hotness sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutation length differs from the table's row count.
+    pub fn permuted(&self, to_original: impl Fn(u32) -> u32, len: u32) -> EmbeddingTable {
+        assert_eq!(len, self.rows, "permutation length must match table rows");
+        let mut data = Vec::with_capacity(self.data.len());
+        for pos in 0..self.rows {
+            let orig = to_original(pos);
+            data.extend_from_slice(self.vector(orig));
+        }
+        EmbeddingTable {
+            rows: self.rows,
+            dim: self.dim,
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> EmbeddingTable {
+        EmbeddingTable::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, 2.0],
+            vec![-1.0, 3.0],
+        ])
+    }
+
+    #[test]
+    fn construction_accessors() {
+        let t = tiny();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.dim(), 2);
+        assert_eq!(t.bytes(), 4 * 2 * 4);
+        assert_eq!(t.vector(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_pool_sums_requested_vectors() {
+        let t = tiny();
+        // Input 0 pools rows {0, 2}; input 1 pools row {3}.
+        let lookup = TableLookup::new(vec![0, 2, 3], vec![0, 2]).unwrap();
+        let out = t.gather_pool(&lookup);
+        assert_eq!(out.row(0), &[3.0, 2.0]);
+        assert_eq!(out.row(1), &[-1.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_pooling_bag_yields_zero_vector() {
+        let t = tiny();
+        // Input 0 gathers nothing, input 1 gathers row 1.
+        let lookup = TableLookup::new(vec![1], vec![0, 0]).unwrap();
+        let out = t.gather_pool(&lookup);
+        assert_eq!(out.row(0), &[0.0, 0.0]);
+        assert_eq!(out.row(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn slice_extracts_contiguous_rows() {
+        let t = tiny();
+        let s = t.slice(1, 3);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.vector(0), &[0.0, 1.0]);
+        assert_eq!(s.vector(1), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn slices_cover_whole_table() {
+        let t = EmbeddingTable::with_seed(10, 4, 1);
+        let a = t.slice(0, 6);
+        let b = t.slice(6, 10);
+        for id in 0..6 {
+            assert_eq!(a.vector(id), t.vector(id));
+        }
+        for id in 6..10 {
+            assert_eq!(b.vector(id - 6), t.vector(id));
+        }
+    }
+
+    #[test]
+    fn permuted_moves_rows() {
+        let t = tiny();
+        // Reverse the table.
+        let p = t.permuted(|pos| 3 - pos, 4);
+        assert_eq!(p.vector(0), t.vector(3));
+        assert_eq!(p.vector(3), t.vector(0));
+    }
+
+    #[test]
+    fn seeded_tables_are_deterministic() {
+        let a = EmbeddingTable::with_seed(50, 8, 99);
+        let b = EmbeddingTable::with_seed(50, 8, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_gather_panics() {
+        let t = tiny();
+        let lookup = TableLookup::new(vec![4], vec![0]).unwrap();
+        t.gather_pool(&lookup);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid slice")]
+    fn bad_slice_panics() {
+        tiny().slice(2, 2);
+    }
+}

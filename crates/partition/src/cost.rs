@@ -1,0 +1,233 @@
+//! Deployment-cost estimation — Algorithm 1 of the paper.
+
+use er_distribution::AccessModel;
+
+use crate::QpsModel;
+
+/// Default `target_traffic` constant (queries/sec). The paper notes any
+/// value making every shard's replica count at least one works, and uses
+/// 1000.
+pub const DEFAULT_TARGET_TRAFFIC: f64 = 1000.0;
+
+/// Estimates the memory consumption of deploying an embedding shard —
+/// the `COST(k, j)` function consumed by the DP partitioner.
+///
+/// For a shard covering sorted ranks `(k, j]`:
+///
+/// * `n_s = (CDF(j) − CDF(k)) × n_t` — expected gathers landing on the
+///   shard per query (Algorithm 1 lines 11–12);
+/// * `replicas = target_traffic / QPS(n_s)` (line 14), floored at one
+///   because even a never-accessed shard must be stored once;
+/// * `cost = replicas × (shard_bytes + min_mem_alloc)` (lines 3–4).
+///
+/// # Examples
+///
+/// ```
+/// use er_distribution::LocalityTarget;
+/// use er_partition::{AnalyticGatherModel, CostModel};
+///
+/// let access = LocalityTarget::new(0.90).solve(1_000_000);
+/// let qps = AnalyticGatherModel::new(2.0e-4, 20.0e9, 128);
+/// // A query gathers batch 32 x pooling 128 = 4096 vectors from the table.
+/// let cost = CostModel::new(&access, &qps, 4096.0, 128, 64 << 20)
+///     .with_target_traffic(10_000.0);
+/// // The hot head needs more replicas than the cold tail.
+/// assert!(cost.replicas(0, 100_000) > cost.replicas(100_000, 1_000_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CostModel<'a, A: AccessModel, Q: QpsModel> {
+    access: &'a A,
+    qps: &'a Q,
+    /// Average vectors gathered from the whole table per query (`n_t`).
+    n_t: f64,
+    /// Bytes per embedding vector.
+    vector_bytes: u64,
+    /// Fixed memory floor per container replica (code, buffers).
+    min_mem_alloc: u64,
+    target_traffic: f64,
+}
+
+impl<'a, A: AccessModel, Q: QpsModel> CostModel<'a, A, Q> {
+    /// Creates a cost model with the default target traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_t` is non-positive or `vector_bytes` is zero.
+    pub fn new(access: &'a A, qps: &'a Q, n_t: f64, vector_bytes: u64, min_mem_alloc: u64) -> Self {
+        assert!(
+            n_t.is_finite() && n_t > 0.0,
+            "n_t must be positive, got {n_t}"
+        );
+        assert!(vector_bytes > 0, "vector size must be positive");
+        Self {
+            access,
+            qps,
+            n_t,
+            vector_bytes,
+            min_mem_alloc,
+            target_traffic: DEFAULT_TARGET_TRAFFIC,
+        }
+    }
+
+    /// Overrides the target-traffic constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traffic` is non-positive.
+    pub fn with_target_traffic(mut self, traffic: f64) -> Self {
+        assert!(
+            traffic.is_finite() && traffic > 0.0,
+            "target traffic must be positive, got {traffic}"
+        );
+        self.target_traffic = traffic;
+        self
+    }
+
+    /// Expected gathers per query landing on ranks `(k, j]` (`n_s`).
+    pub fn expected_gathers(&self, k: u64, j: u64) -> f64 {
+        self.access.coverage(k, j) * self.n_t
+    }
+
+    /// Replicas needed to carry the target traffic (fractional, floored at
+    /// one — a shard must exist to be servable).
+    pub fn replicas(&self, k: u64, j: u64) -> f64 {
+        let n_s = self.expected_gathers(k, j);
+        let qps = self.qps.qps(n_s);
+        (self.target_traffic / qps).max(1.0)
+    }
+
+    /// Shard storage in bytes: `(j − k) × vector_bytes` (Algorithm 1
+    /// line 18, with `(k, j]` covering `j − k` vectors).
+    pub fn capacity_bytes(&self, k: u64, j: u64) -> u64 {
+        (j - k) * self.vector_bytes
+    }
+
+    /// Estimated memory consumption of deploying the shard, in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= j` or `j` exceeds the table size.
+    pub fn cost(&self, k: u64, j: u64) -> f64 {
+        assert!(k < j && j <= self.access.len(), "invalid shard ({k}, {j}]");
+        let shard_bytes = self.capacity_bytes(k, j) + self.min_mem_alloc;
+        self.replicas(k, j) * shard_bytes as f64
+    }
+
+    /// The table size this model covers.
+    pub fn table_len(&self) -> u64 {
+        self.access.len()
+    }
+
+    /// The per-replica memory floor.
+    pub fn min_mem_alloc(&self) -> u64 {
+        self.min_mem_alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnalyticGatherModel;
+    use er_distribution::{LocalityTarget, ZipfDistribution};
+
+    const N: u64 = 1_000_000;
+
+    fn access() -> ZipfDistribution {
+        LocalityTarget::new(0.90).solve(N)
+    }
+
+    fn qps() -> AnalyticGatherModel {
+        // A shard replica's slice of a node: ~2 GB/s of random-gather
+        // bandwidth and 200 us of fixed per-query work.
+        AnalyticGatherModel::new(2.0e-4, 2.0e9, 128)
+    }
+
+    /// Per-query gathers: batch 32 x pooling 128.
+    const N_T: f64 = 4096.0;
+
+    #[test]
+    fn hot_shards_need_more_replicas() {
+        let a = access();
+        let q = qps();
+        let c = CostModel::new(&a, &q, N_T, 128, 1 << 20).with_target_traffic(10_000.0);
+        let hot = c.replicas(0, N / 10);
+        let cold = c.replicas(N / 10, N);
+        assert!(hot > cold + 0.5, "hot={hot} cold={cold}");
+    }
+
+    #[test]
+    fn cold_shards_floor_at_one_replica() {
+        let a = access();
+        let q = qps();
+        let c = CostModel::new(&a, &q, N_T, 128, 1 << 20).with_target_traffic(1.0);
+        // With trivial traffic every shard floors at one replica.
+        assert_eq!(c.replicas(N - 10, N), 1.0);
+    }
+
+    #[test]
+    fn expected_gathers_partition_the_total() {
+        let a = access();
+        let q = qps();
+        let c = CostModel::new(&a, &q, N_T, 128, 0);
+        let total = c.expected_gathers(0, N / 3)
+            + c.expected_gathers(N / 3, 2 * N / 3)
+            + c.expected_gathers(2 * N / 3, N);
+        assert!((total - N_T).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacity_counts_vectors_times_bytes() {
+        let a = access();
+        let q = qps();
+        let c = CostModel::new(&a, &q, N_T, 128, 0);
+        assert_eq!(c.capacity_bytes(10, 110), 100 * 128);
+    }
+
+    #[test]
+    fn cost_grows_with_traffic() {
+        let a = access();
+        let q = qps();
+        let lo = CostModel::new(&a, &q, N_T, 128, 1 << 20).with_target_traffic(1000.0);
+        let hi = CostModel::new(&a, &q, N_T, 128, 1 << 20).with_target_traffic(10_000.0);
+        // The hot head scales with traffic.
+        assert!(hi.cost(0, N / 10) > lo.cost(0, N / 10));
+    }
+
+    #[test]
+    fn whole_table_cost_reflects_full_load() {
+        let a = access();
+        let q = qps();
+        let c = CostModel::new(&a, &q, N_T, 128, 1 << 20);
+        let full = c.cost(0, N);
+        // Replicas for the whole table at 1000 QPS target:
+        let expect_replicas = 1000.0 / q.qps(N_T);
+        let expect = expect_replicas.max(1.0) * ((N * 128 + (1 << 20)) as f64);
+        assert!((full - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn min_mem_alloc_penalizes_each_replica() {
+        let a = access();
+        let q = qps();
+        let small = CostModel::new(&a, &q, N_T, 128, 0);
+        let big = CostModel::new(&a, &q, N_T, 128, 1 << 30);
+        assert!(big.cost(0, 1000) > small.cost(0, 1000));
+        assert_eq!(big.min_mem_alloc(), 1 << 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shard")]
+    fn empty_shard_panics() {
+        let a = access();
+        let q = qps();
+        CostModel::new(&a, &q, N_T, 128, 0).cost(5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_traffic_panics() {
+        let a = access();
+        let q = qps();
+        let _ = CostModel::new(&a, &q, N_T, 128, 0).with_target_traffic(0.0);
+    }
+}

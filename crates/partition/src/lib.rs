@@ -1,0 +1,37 @@
+//! Utility-based embedding-table partitioning — the core algorithms of
+//! ElasticRec (paper Section IV-B and IV-C).
+//!
+//! Pipeline: a hotness-sorted table's access distribution
+//! ([`er_distribution::AccessModel`]) plus a profiled gather-throughput
+//! model ([`QpsModel`], paper Figure 9) feed the deployment-cost estimator
+//! ([`CostModel`], Algorithm 1). A dynamic-programming partitioner
+//! ([`partition_exact`] / [`partition_bucketed`], Algorithm 2) then finds
+//! the shard boundaries minimizing total memory consumption, and
+//! [`bucketize`] remaps each query's `(index, offset)` arrays onto the
+//! resulting shards (Figure 11).
+//!
+//! # Examples
+//!
+//! ```
+//! use er_distribution::LocalityTarget;
+//! use er_partition::{partition_bucketed, AnalyticGatherModel, CostModel};
+//!
+//! let access = LocalityTarget::new(0.90).solve(1_000_000);
+//! let qps = AnalyticGatherModel::new(2.0e-4, 2.0e9, 128);
+//! let cost = CostModel::new(&access, &qps, 4096.0, 128, 64 << 20)
+//!     .with_target_traffic(10_000.0);
+//! let plan = partition_bucketed(1_000_000, 8, 64, |k, j| cost.cost(k, j));
+//! assert!(plan.num_shards() >= 2); // skewed tables get split
+//! ```
+
+mod bucketize;
+mod cost;
+mod dp;
+mod plan;
+mod qps_model;
+
+pub use bucketize::{bucketize, BucketizedLookup};
+pub use cost::CostModel;
+pub use dp::{partition_bucketed, partition_bucketed_k, partition_exact};
+pub use plan::PartitionPlan;
+pub use qps_model::{AnalyticGatherModel, ProfiledQpsModel, QpsModel};

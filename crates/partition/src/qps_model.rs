@@ -1,0 +1,281 @@
+//! Gather-throughput models — the paper's Figure 9 profiling step.
+
+use serde::{Deserialize, Serialize};
+
+/// Estimated queries/sec an embedding shard replica sustains as a function
+/// of the average number of vectors gathered from it per query (`QPS(x)` in
+/// Algorithm 1).
+pub trait QpsModel {
+    /// Sustainable QPS when each query gathers `gathers` vectors from the
+    /// shard. `gathers` may be fractional (it is an expectation).
+    fn qps(&self, gathers: f64) -> f64;
+}
+
+/// First-principles gather model: each query pays a fixed per-query
+/// overhead (RPC dispatch, pooling setup) plus `gathers × vector_bytes`
+/// of random-access memory traffic at the replica's effective bandwidth.
+///
+/// This is the "hardware" that the paper profiles; sweeping it over gather
+/// counts reproduces Figure 9's hyperbolic QPS curves, with larger vector
+/// dimensions shifting the curve down.
+///
+/// # Examples
+///
+/// ```
+/// use er_partition::{AnalyticGatherModel, QpsModel};
+///
+/// let dim32 = AnalyticGatherModel::new(2.0e-4, 20.0e9, 128);
+/// let dim512 = AnalyticGatherModel::new(2.0e-4, 20.0e9, 2048);
+/// assert!(dim32.qps(1000.0) > dim512.qps(1000.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticGatherModel {
+    overhead_secs: f64,
+    bytes_per_sec: f64,
+    vector_bytes: u64,
+}
+
+impl AnalyticGatherModel {
+    /// Creates a model from a per-query overhead, the replica's effective
+    /// random-access bandwidth, and the embedding vector size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive or not finite.
+    pub fn new(overhead_secs: f64, bytes_per_sec: f64, vector_bytes: u64) -> Self {
+        assert!(
+            overhead_secs.is_finite() && overhead_secs > 0.0,
+            "overhead must be positive, got {overhead_secs}"
+        );
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "bandwidth must be positive, got {bytes_per_sec}"
+        );
+        assert!(vector_bytes > 0, "vector size must be positive");
+        Self {
+            overhead_secs,
+            bytes_per_sec,
+            vector_bytes,
+        }
+    }
+
+    /// Seconds to serve one query gathering `gathers` vectors.
+    pub fn latency_secs(&self, gathers: f64) -> f64 {
+        assert!(
+            gathers.is_finite() && gathers >= 0.0,
+            "gather count must be finite and non-negative, got {gathers}"
+        );
+        self.overhead_secs + gathers * self.vector_bytes as f64 / self.bytes_per_sec
+    }
+
+    /// The vector size in bytes.
+    pub fn vector_bytes(&self) -> u64 {
+        self.vector_bytes
+    }
+}
+
+impl QpsModel for AnalyticGatherModel {
+    fn qps(&self, gathers: f64) -> f64 {
+        1.0 / self.latency_secs(gathers)
+    }
+}
+
+/// The paper's profiling-based regression: a lookup table of measured
+/// `(gathers, QPS)` points (the one-time sweep of Figure 9) interpolated
+/// log-linearly between points and clamped at the ends.
+///
+/// # Examples
+///
+/// ```
+/// use er_partition::{AnalyticGatherModel, ProfiledQpsModel, QpsModel};
+///
+/// let hw = AnalyticGatherModel::new(2.0e-4, 20.0e9, 128);
+/// let profiled = ProfiledQpsModel::profile(&hw, &[1.0, 10.0, 100.0, 1000.0, 10_000.0]);
+/// let x = 300.0;
+/// let rel = (profiled.qps(x) - hw.qps(x)).abs() / hw.qps(x);
+/// assert!(rel < 0.05); // regression tracks the hardware closely
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfiledQpsModel {
+    /// Measured `(gathers, qps)` points, ascending in gathers.
+    points: Vec<(f64, f64)>,
+}
+
+impl ProfiledQpsModel {
+    /// Runs the one-time profiling sweep against `hardware` at the given
+    /// gather counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sweep` has fewer than two points or is not strictly
+    /// increasing and positive.
+    pub fn profile<M: QpsModel>(hardware: &M, sweep: &[f64]) -> Self {
+        Self::from_measurements(
+            sweep
+                .iter()
+                .map(|&x| (x, hardware.qps(x)))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Builds the regression from explicit measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given, gather counts are not
+    /// strictly increasing and positive, or any QPS is non-positive.
+    pub fn from_measurements(points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two profiling points");
+        for w in points.windows(2) {
+            assert!(
+                w[0].0 > 0.0 && w[1].0 > w[0].0,
+                "gather counts must be positive and strictly increasing"
+            );
+        }
+        assert!(
+            points.iter().all(|&(_, q)| q > 0.0 && q.is_finite()),
+            "measured QPS must be positive"
+        );
+        Self { points }
+    }
+
+    /// The profiled lookup table.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// A standard sweep covering the Figure 9 x-axis: log-spaced gather
+    /// counts from 1 to `max_gathers`.
+    pub fn standard_sweep(max_gathers: f64) -> Vec<f64> {
+        assert!(max_gathers > 1.0, "sweep must extend past one gather");
+        let steps = 24;
+        (0..=steps)
+            .map(|i| (max_gathers.ln() * i as f64 / steps as f64).exp())
+            .collect()
+    }
+}
+
+impl QpsModel for ProfiledQpsModel {
+    fn qps(&self, gathers: f64) -> f64 {
+        assert!(
+            gathers.is_finite() && gathers >= 0.0,
+            "gather count must be finite and non-negative, got {gathers}"
+        );
+        let pts = &self.points;
+        let x = gathers.max(pts[0].0); // clamp below the first sample
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        let idx = pts.partition_point(|&(g, _)| g <= x) - 1;
+        let (x0, y0) = pts[idx];
+        let (x1, y1) = pts[idx + 1];
+        // Log-log interpolation suits the power-law shape of QPS(x).
+        let t = (x.ln() - x0.ln()) / (x1.ln() - x0.ln());
+        (y0.ln() + t * (y1.ln() - y0.ln())).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> AnalyticGatherModel {
+        AnalyticGatherModel::new(2.0e-4, 20.0e9, 128)
+    }
+
+    #[test]
+    fn qps_decreases_with_gathers() {
+        let m = hw();
+        let mut prev = f64::INFINITY;
+        for &x in &[0.0, 1.0, 10.0, 100.0, 1000.0, 100_000.0] {
+            let q = m.qps(x);
+            assert!(q < prev, "x={x}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn zero_gathers_is_overhead_bound() {
+        let m = hw();
+        assert!((m.qps(0.0) - 1.0 / 2.0e-4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn larger_vectors_lower_qps() {
+        // Figure 9: dims 32..512 (128..2048 bytes).
+        let x = 5_000.0;
+        let mut prev = f64::INFINITY;
+        for dim in [32u64, 64, 128, 256, 512] {
+            let m = AnalyticGatherModel::new(2.0e-4, 20.0e9, dim * 4);
+            let q = m.qps(x);
+            assert!(q < prev, "dim={dim}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn latency_is_affine_in_gathers() {
+        let m = hw();
+        let l0 = m.latency_secs(0.0);
+        let l1 = m.latency_secs(1000.0);
+        let l2 = m.latency_secs(2000.0);
+        assert!(((l2 - l1) - (l1 - l0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiled_matches_hardware_at_sample_points() {
+        let m = hw();
+        let sweep = [1.0, 10.0, 100.0, 1000.0];
+        let p = ProfiledQpsModel::profile(&m, &sweep);
+        for &x in &sweep {
+            assert!((p.qps(x) - m.qps(x)).abs() / m.qps(x) < 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn profiled_interpolates_between_points() {
+        let m = hw();
+        let p = ProfiledQpsModel::profile(&m, &ProfiledQpsModel::standard_sweep(100_000.0));
+        for &x in &[3.0, 42.0, 777.0, 31_000.0] {
+            let rel = (p.qps(x) - m.qps(x)).abs() / m.qps(x);
+            assert!(rel < 0.02, "x={x} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn profiled_clamps_outside_range() {
+        let p = ProfiledQpsModel::from_measurements(vec![(10.0, 100.0), (100.0, 10.0)]);
+        assert!((p.qps(1.0) - 100.0).abs() < 1e-9);
+        assert!((p.qps(0.0) - 100.0).abs() < 1e-9);
+        assert!((p.qps(1e9) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standard_sweep_is_log_spaced_and_increasing() {
+        let sweep = ProfiledQpsModel::standard_sweep(1_000_000.0);
+        assert_eq!(sweep.len(), 25);
+        assert!((sweep[0] - 1.0).abs() < 1e-9);
+        assert!((sweep[24] - 1_000_000.0).abs() < 1.0);
+        for w in sweep.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_measurements_panic() {
+        ProfiledQpsModel::from_measurements(vec![(10.0, 1.0), (5.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two profiling points")]
+    fn single_point_panics() {
+        ProfiledQpsModel::from_measurements(vec![(10.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_gathers_panics() {
+        hw().qps(-1.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Replica selection — the Linkerd stand-in.
+
+/// Chooses which replica of a microservice receives the next request.
+///
+/// Implementations are deliberately minimal: the simulator calls
+/// [`Balancer::pick`] with the current replica count (replicas are numbered
+/// `0..n`, and the set can grow or shrink between calls as the autoscaler
+/// acts) and reports completions so queue-aware policies can track load.
+pub trait Balancer {
+    /// Picks a replica in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `n == 0`.
+    fn pick(&mut self, n: usize) -> usize;
+
+    /// Reports that a request previously routed to `replica` completed.
+    /// The default implementation ignores it.
+    fn on_complete(&mut self, replica: usize) {
+        let _ = replica;
+    }
+}
+
+/// Round-robin selection, Linkerd's default behaviour for basic services.
+///
+/// # Examples
+///
+/// ```
+/// use er_rpc::{Balancer, RoundRobin};
+///
+/// let mut rr = RoundRobin::new();
+/// assert_eq!(rr.pick(3), 0);
+/// assert_eq!(rr.pick(3), 1);
+/// assert_eq!(rr.pick(3), 2);
+/// assert_eq!(rr.pick(3), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates a balancer starting at replica 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Balancer for RoundRobin {
+    fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot balance over zero replicas");
+        let choice = self.next % n;
+        self.next = (self.next + 1) % n;
+        choice
+    }
+}
+
+/// Picks the replica with the fewest outstanding (picked but not completed)
+/// requests, breaking ties toward lower IDs. Approximates Linkerd's EWMA
+/// load-aware balancing without the time constant.
+///
+/// # Examples
+///
+/// ```
+/// use er_rpc::{Balancer, LeastOutstanding};
+///
+/// let mut lb = LeastOutstanding::new();
+/// assert_eq!(lb.pick(2), 0);
+/// assert_eq!(lb.pick(2), 1); // 0 is busy
+/// lb.on_complete(0);
+/// assert_eq!(lb.pick(2), 0); // 0 is free again
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LeastOutstanding {
+    outstanding: Vec<u32>,
+}
+
+impl LeastOutstanding {
+    /// Creates a balancer with no outstanding requests.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Outstanding requests currently charged to `replica`.
+    pub fn outstanding(&self, replica: usize) -> u32 {
+        self.outstanding.get(replica).copied().unwrap_or(0)
+    }
+}
+
+impl Balancer for LeastOutstanding {
+    fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot balance over zero replicas");
+        if self.outstanding.len() < n {
+            self.outstanding.resize(n, 0);
+        }
+        let choice = (0..n).min_by_key(|&i| self.outstanding[i]).expect("n > 0");
+        self.outstanding[choice] += 1;
+        choice
+    }
+
+    fn on_complete(&mut self, replica: usize) {
+        if let Some(c) = self.outstanding.get_mut(replica) {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+/// Power-of-two-choices: sample two random replicas and pick the less
+/// loaded one. The classic result (Mitzenmacher) is that two choices get
+/// exponentially close to least-loaded at a fraction of the bookkeeping —
+/// this is the strategy production proxies like Linkerd actually deploy
+/// at scale.
+///
+/// # Examples
+///
+/// ```
+/// use er_rpc::{Balancer, PowerOfTwoChoices};
+/// use er_sim::SimRng;
+///
+/// let mut p2c = PowerOfTwoChoices::new(SimRng::seed_from(7));
+/// let pick = p2c.pick(8);
+/// assert!(pick < 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerOfTwoChoices {
+    rng: er_sim::SimRng,
+    outstanding: Vec<u32>,
+}
+
+impl PowerOfTwoChoices {
+    /// Creates a balancer driven by a deterministic RNG.
+    pub fn new(rng: er_sim::SimRng) -> Self {
+        Self {
+            rng,
+            outstanding: Vec::new(),
+        }
+    }
+
+    /// Outstanding requests currently charged to `replica`.
+    pub fn outstanding(&self, replica: usize) -> u32 {
+        self.outstanding.get(replica).copied().unwrap_or(0)
+    }
+}
+
+impl Balancer for PowerOfTwoChoices {
+    fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot balance over zero replicas");
+        if self.outstanding.len() < n {
+            self.outstanding.resize(n, 0);
+        }
+        let a = self.rng.index(n);
+        let b = self.rng.index(n);
+        let choice = if self.outstanding[a] <= self.outstanding[b] {
+            a
+        } else {
+            b
+        };
+        self.outstanding[choice] += 1;
+        choice
+    }
+
+    fn on_complete(&mut self, replica: usize) {
+        if let Some(c) = self.outstanding.get_mut(replica) {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_evenly() {
+        let mut rr = RoundRobin::new();
+        let mut counts = [0u32; 4];
+        for _ in 0..400 {
+            counts[rr.pick(4)] += 1;
+        }
+        assert_eq!(counts, [100; 4]);
+    }
+
+    #[test]
+    fn round_robin_adapts_to_scale_out() {
+        let mut rr = RoundRobin::new();
+        rr.pick(1);
+        rr.pick(1);
+        // New replica appears: rotation now covers it.
+        let mut seen = [false; 2];
+        for _ in 0..4 {
+            seen[rr.pick(2)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn round_robin_handles_scale_in() {
+        let mut rr = RoundRobin::new();
+        for _ in 0..5 {
+            rr.pick(8);
+        }
+        // Shrink to 2 replicas: picks stay in range.
+        for _ in 0..10 {
+            assert!(rr.pick(2) < 2);
+        }
+    }
+
+    #[test]
+    fn least_outstanding_prefers_idle_replicas() {
+        let mut lb = LeastOutstanding::new();
+        assert_eq!(lb.pick(3), 0);
+        assert_eq!(lb.pick(3), 1);
+        assert_eq!(lb.pick(3), 2);
+        lb.on_complete(1);
+        assert_eq!(lb.pick(3), 1);
+        assert_eq!(lb.outstanding(1), 1);
+        assert_eq!(lb.outstanding(0), 1);
+    }
+
+    #[test]
+    fn least_outstanding_balances_unequal_service_times() {
+        let mut lb = LeastOutstanding::new();
+        // Replica 0 never completes; everything else should flow to 1.
+        let first = lb.pick(2);
+        assert_eq!(first, 0);
+        for _ in 0..10 {
+            let r = lb.pick(2);
+            assert_eq!(r, 1);
+            lb.on_complete(1);
+        }
+    }
+
+    #[test]
+    fn completion_for_unknown_replica_is_ignored() {
+        let mut lb = LeastOutstanding::new();
+        lb.on_complete(99); // no panic
+        assert_eq!(lb.pick(1), 0);
+    }
+
+    #[test]
+    fn p2c_spreads_load_roughly_evenly() {
+        use er_sim::SimRng;
+        let mut p2c = PowerOfTwoChoices::new(SimRng::seed_from(11));
+        let n = 8;
+        let mut counts = vec![0u32; n];
+        for _ in 0..8000 {
+            let r = p2c.pick(n);
+            counts[r] += 1;
+            p2c.on_complete(r);
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.5, "counts too skewed: {counts:?}");
+    }
+
+    #[test]
+    fn p2c_avoids_the_hotspot() {
+        use er_sim::SimRng;
+        let mut p2c = PowerOfTwoChoices::new(SimRng::seed_from(13));
+        // Replica 0 never completes its work; p2c should route around it
+        // whenever its sample offers an alternative.
+        let mut to_zero = 0;
+        for _ in 0..2000 {
+            let r = p2c.pick(4);
+            if r == 0 {
+                to_zero += 1;
+            } else {
+                p2c.on_complete(r);
+            }
+        }
+        // Only the (1/16) double-sample-of-zero cases can route there once
+        // it is clearly the most loaded.
+        assert!(to_zero < 400, "hotspot received {to_zero} requests");
+        assert!(p2c.outstanding(0) as usize == to_zero);
+    }
+
+    #[test]
+    fn p2c_is_deterministic_per_seed() {
+        use er_sim::SimRng;
+        let picks = |seed| {
+            let mut p = PowerOfTwoChoices::new(SimRng::seed_from(seed));
+            (0..50).map(|_| p.pick(6)).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(3), picks(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero replicas")]
+    fn p2c_zero_replicas_panics() {
+        use er_sim::SimRng;
+        PowerOfTwoChoices::new(SimRng::seed_from(0)).pick(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero replicas")]
+    fn round_robin_zero_replicas_panics() {
+        RoundRobin::new().pick(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero replicas")]
+    fn least_outstanding_zero_replicas_panics() {
+        LeastOutstanding::new().pick(0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Simulated RPC fabric for the ElasticRec reproduction.
+//!
+//! In the paper, model shards communicate over C++ gRPC and queries are load
+//! balanced by Linkerd (Section V-B). The experiments depend on two
+//! properties of that stack: the *latency* an RPC hop adds (the paper
+//! measures ~31 ms extra end-to-end latency on the CPU cluster and ~60 ms on
+//! GKE) and the *spreading* of requests over shard replicas. This crate
+//! models both: a [`NetworkProfile`] turns message sizes into transfer
+//! latencies, [`messages`] sizes the DLRM request/response payloads, and
+//! [`RoundRobin`] / [`LeastOutstanding`] balancers pick replicas.
+//!
+//! # Examples
+//!
+//! ```
+//! use er_rpc::{messages, NetworkProfile};
+//!
+//! let net = NetworkProfile::ten_gbps();
+//! let req = messages::embedding_request_bytes(32 * 128, 32);
+//! let secs = net.transfer_secs(req);
+//! assert!(secs > 0.0 && secs < 0.01);
+//! ```
+
+mod balancer;
+pub mod messages;
+mod network;
+
+pub use balancer::{Balancer, LeastOutstanding, PowerOfTwoChoices, RoundRobin};
+pub use network::NetworkProfile;

@@ -1,0 +1,64 @@
+//! Payload sizing for the DLRM serving protocol.
+//!
+//! The wire format mirrors what the paper's gRPC services exchange: the
+//! dense shard sends each embedding shard a bucketized `(index array,
+//! offset array)` pair and receives pooled `f32` vectors back
+//! (Section IV-A, "Life of an inference query").
+
+/// Fixed per-message protocol overhead (gRPC/HTTP2 framing, metadata).
+pub const HEADER_BYTES: u64 = 128;
+
+/// Size of an embedding gather request carrying `num_indices` index IDs and
+/// `num_offsets` offsets (both `u32`).
+pub fn embedding_request_bytes(num_indices: u64, num_offsets: u64) -> u64 {
+    HEADER_BYTES + 4 * num_indices + 4 * num_offsets
+}
+
+/// Size of an embedding gather response carrying one pooled `dim`-wide
+/// `f32` vector per batch input.
+pub fn embedding_response_bytes(batch: u64, dim: u64) -> u64 {
+    HEADER_BYTES + 4 * batch * dim
+}
+
+/// Size of the user-facing query request: dense features plus all sparse
+/// index/offset arrays.
+pub fn query_request_bytes(batch: u64, num_dense: u64, total_indices: u64, num_tables: u64) -> u64 {
+    HEADER_BYTES + 4 * batch * num_dense + 4 * total_indices + 4 * batch * num_tables
+}
+
+/// Size of the user-facing response: one probability per input.
+pub fn query_response_bytes(batch: u64) -> u64 {
+    HEADER_BYTES + 4 * batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_counts_both_arrays() {
+        assert_eq!(embedding_request_bytes(100, 32), HEADER_BYTES + 400 + 128);
+    }
+
+    #[test]
+    fn response_scales_with_batch_and_dim() {
+        assert_eq!(embedding_response_bytes(32, 32), HEADER_BYTES + 4 * 32 * 32);
+        assert_eq!(
+            embedding_response_bytes(64, 32) - HEADER_BYTES,
+            2 * (embedding_response_bytes(32, 32) - HEADER_BYTES)
+        );
+    }
+
+    #[test]
+    fn empty_messages_still_have_headers() {
+        assert_eq!(embedding_request_bytes(0, 0), HEADER_BYTES);
+        assert_eq!(query_response_bytes(0), HEADER_BYTES);
+    }
+
+    #[test]
+    fn query_request_matches_hand_computation() {
+        // batch 32, 13 dense, 10 tables x 128 gathers.
+        let b = query_request_bytes(32, 13, 32 * 128 * 10, 10);
+        assert_eq!(b, HEADER_BYTES + 4 * 32 * 13 + 4 * 40960 + 4 * 320);
+    }
+}

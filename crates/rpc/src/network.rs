@@ -1,0 +1,132 @@
+//! Network latency/bandwidth model.
+
+use serde::{Deserialize, Serialize};
+
+/// First-order model of one network hop: a fixed per-message cost (protocol
+/// processing, serialization, kernel traversal) plus a size-proportional
+/// transfer term.
+///
+/// # Examples
+///
+/// ```
+/// use er_rpc::NetworkProfile;
+///
+/// let net = NetworkProfile::ten_gbps();
+/// // A 1.25 MB message at 10 Gbps takes ~1 ms of wire time plus base cost.
+/// let secs = net.transfer_secs(1_250_000);
+/// assert!((secs - (net.base_latency_secs() + 0.001)).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkProfile {
+    base_latency_secs: f64,
+    bytes_per_sec: f64,
+}
+
+impl NetworkProfile {
+    /// Creates a profile from a per-message base latency and link bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-positive or not finite.
+    pub fn new(base_latency_secs: f64, gigabits_per_sec: f64) -> Self {
+        assert!(
+            base_latency_secs.is_finite() && base_latency_secs > 0.0,
+            "base latency must be positive, got {base_latency_secs}"
+        );
+        assert!(
+            gigabits_per_sec.is_finite() && gigabits_per_sec > 0.0,
+            "bandwidth must be positive, got {gigabits_per_sec}"
+        );
+        Self {
+            base_latency_secs,
+            bytes_per_sec: gigabits_per_sec * 1e9 / 8.0,
+        }
+    }
+
+    /// The paper's CPU-only cluster fabric: 10 Gbps (Section V-A). The base
+    /// latency folds in gRPC serialization/deserialization and Linkerd
+    /// proxying, sized so a dense-shard query with full embedding fan-out
+    /// adds tens of milliseconds, matching the reported ~31 ms overhead.
+    pub fn ten_gbps() -> Self {
+        Self::new(2.0e-3, 10.0)
+    }
+
+    /// The paper's GKE fabric: 32 Gbps. The reported overhead there is
+    /// higher (~60 ms) because more, faster shard replicas mean wider
+    /// fan-outs per query; the per-hop base cost in a managed cloud network
+    /// is also higher.
+    pub fn thirty_two_gbps() -> Self {
+        Self::new(3.5e-3, 32.0)
+    }
+
+    /// Per-message fixed cost in seconds.
+    pub fn base_latency_secs(&self) -> f64 {
+        self.base_latency_secs
+    }
+
+    /// Link bandwidth in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Time to deliver a message of `bytes` over one hop.
+    pub fn transfer_secs(&self, bytes: u64) -> f64 {
+        self.base_latency_secs + bytes as f64 / self.bytes_per_sec
+    }
+
+    /// Round-trip time for a request/response pair.
+    pub fn round_trip_secs(&self, request_bytes: u64, response_bytes: u64) -> f64 {
+        self.transfer_secs(request_bytes) + self.transfer_secs(response_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_combines_base_and_wire_time() {
+        let net = NetworkProfile::new(0.001, 8.0); // 1 GB/s
+        let secs = net.transfer_secs(1_000_000); // 1 MB -> 1 ms wire
+        assert!((secs - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bytes_still_pays_base_latency() {
+        let net = NetworkProfile::ten_gbps();
+        assert_eq!(net.transfer_secs(0), net.base_latency_secs());
+    }
+
+    #[test]
+    fn round_trip_is_sum_of_hops() {
+        let net = NetworkProfile::ten_gbps();
+        let rt = net.round_trip_secs(1000, 2000);
+        assert!((rt - (net.transfer_secs(1000) + net.transfer_secs(2000))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_link_moves_bytes_faster() {
+        let slow = NetworkProfile::new(0.001, 10.0);
+        let fast = NetworkProfile::new(0.001, 32.0);
+        let bytes = 10_000_000;
+        assert!(fast.transfer_secs(bytes) < slow.transfer_secs(bytes));
+    }
+
+    #[test]
+    fn presets_have_expected_bandwidth() {
+        assert!((NetworkProfile::ten_gbps().bytes_per_sec() - 1.25e9).abs() < 1.0);
+        assert!((NetworkProfile::thirty_two_gbps().bytes_per_sec() - 4e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        NetworkProfile::new(0.001, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "base latency")]
+    fn zero_base_latency_panics() {
+        NetworkProfile::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Virtual simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in seconds from simulation start.
+///
+/// `SimTime` is a totally ordered, non-negative, finite instant. Using a
+/// dedicated type (rather than a bare `f64`) keeps durations and instants
+/// from being confused at call sites and lets the event queue rely on a
+/// total order.
+///
+/// # Examples
+///
+/// ```
+/// use er_sim::SimTime;
+///
+/// let t = SimTime::ZERO + 1.5;
+/// assert_eq!(t.as_secs(), 1.5);
+/// assert!(t > SimTime::ZERO);
+/// assert_eq!(t - SimTime::from_secs(0.5), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates an instant `secs` seconds after simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "simulation time must be finite and non-negative, got {secs}"
+        );
+        SimTime(secs)
+    }
+
+    /// Creates an instant `ms` milliseconds after simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or not finite.
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms / 1000.0)
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Milliseconds since simulation start.
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1000.0
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Construction forbids NaN, so total_cmp agrees with IEEE ordering.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Advances an instant by a duration in seconds.
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, secs: f64) -> SimTime {
+        SimTime::from_secs(self.0 + secs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, secs: f64) {
+        *self = *self + secs;
+    }
+}
+
+/// Duration in seconds between two instants.
+impl Sub for SimTime {
+    type Output = f64;
+
+    fn sub(self, other: SimTime) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = SimTime::from_secs(2.5);
+        assert_eq!(t.as_secs(), 2.5);
+        assert_eq!(t.as_millis(), 2500.0);
+        assert_eq!(SimTime::from_millis(250.0).as_secs(), 0.25);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + 1.0 + 2.0;
+        assert_eq!(t.as_secs(), 3.0);
+        assert_eq!(t - SimTime::from_secs(1.0), 2.0);
+        let mut u = SimTime::ZERO;
+        u += 4.0;
+        assert_eq!(u.as_secs(), 4.0);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "1.500000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_panics() {
+        SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_time_panics() {
+        SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn subtraction_below_zero_panics_on_add() {
+        let _ = SimTime::from_secs(1.0) + (-2.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for shape mismatches.
+
+use std::error::Error;
+use std::fmt;
+
+/// Returned when an operation is applied to incompatibly shaped operands.
+///
+/// # Examples
+///
+/// ```
+/// use er_tensor::Matrix;
+///
+/// let err = Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3)).unwrap_err();
+/// assert!(err.to_string().contains("mismatch"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_message() {
+        let e = ShapeError::new("bad shape");
+        assert_eq!(e.to_string(), "bad shape");
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ShapeError>();
+    }
+}

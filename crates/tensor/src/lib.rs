@@ -1,0 +1,31 @@
+//! Minimal dense linear algebra for the ElasticRec reproduction.
+//!
+//! The paper builds its models with libtorch; this crate supplies the small
+//! subset a DLRM needs — a row-major [`Matrix`], fully-connected
+//! [`Linear`] layers, activations, and an [`Mlp`] stack — together with exact
+//! FLOP accounting so the Figure 3 compute/memory breakdown can be computed
+//! from first principles rather than estimated.
+//!
+//! # Examples
+//!
+//! ```
+//! use er_tensor::{Activation, Matrix, Mlp};
+//!
+//! // The RM1 bottom MLP: 13 dense features -> 256 -> 128 -> 32.
+//! let mlp = Mlp::with_seed(13, &[256, 128, 32], Activation::Relu, 42);
+//! let input = Matrix::zeros(4, 13); // batch of 4
+//! let out = mlp.forward(&input);
+//! assert_eq!(out.shape(), (4, 32));
+//! ```
+
+mod activation;
+mod error;
+mod linear;
+mod matrix;
+mod mlp;
+
+pub use activation::Activation;
+pub use error::ShapeError;
+pub use linear::Linear;
+pub use matrix::Matrix;
+pub use mlp::Mlp;

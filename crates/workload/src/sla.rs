@@ -1,0 +1,130 @@
+//! Service-level agreement configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// The tail-latency SLA queries are judged against.
+///
+/// The paper sets a 400 ms target on p95 latency, in line with industry
+/// recommendations for RecSys (Section V-C), and sets the dense shard's
+/// HPA latency threshold at 65% of it (Section IV-D).
+///
+/// # Examples
+///
+/// ```
+/// use er_workload::SlaConfig;
+///
+/// let sla = SlaConfig::paper_default();
+/// assert_eq!(sla.target_secs(), 0.4);
+/// assert!((sla.hpa_threshold_secs() - 0.26).abs() < 1e-12);
+/// assert!(sla.is_violated(0.5));
+/// assert!(!sla.is_violated(0.3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaConfig {
+    target_secs: f64,
+    percentile: f64,
+    hpa_fraction: f64,
+}
+
+impl SlaConfig {
+    /// The paper's configuration: 400 ms on p95, HPA threshold at 65%.
+    pub fn paper_default() -> Self {
+        Self::new(0.400, 0.95, 0.65)
+    }
+
+    /// Creates a custom SLA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_secs` is non-positive, `percentile` is outside
+    /// `(0, 1]`, or `hpa_fraction` is outside `(0, 1]`.
+    pub fn new(target_secs: f64, percentile: f64, hpa_fraction: f64) -> Self {
+        assert!(
+            target_secs.is_finite() && target_secs > 0.0,
+            "SLA target must be positive, got {target_secs}"
+        );
+        assert!(
+            percentile > 0.0 && percentile <= 1.0,
+            "percentile must be in (0,1], got {percentile}"
+        );
+        assert!(
+            hpa_fraction > 0.0 && hpa_fraction <= 1.0,
+            "HPA fraction must be in (0,1], got {hpa_fraction}"
+        );
+        Self {
+            target_secs,
+            percentile,
+            hpa_fraction,
+        }
+    }
+
+    /// Tail-latency bound in seconds.
+    pub fn target_secs(&self) -> f64 {
+        self.target_secs
+    }
+
+    /// The percentile the bound applies to (0.95 in the paper).
+    pub fn percentile(&self) -> f64 {
+        self.percentile
+    }
+
+    /// The dense-shard autoscaling threshold: `hpa_fraction × target`.
+    pub fn hpa_threshold_secs(&self) -> f64 {
+        self.hpa_fraction * self.target_secs
+    }
+
+    /// Whether an observed tail latency violates the SLA.
+    pub fn is_violated(&self, observed_tail_secs: f64) -> bool {
+        observed_tail_secs > self.target_secs
+    }
+}
+
+impl Default for SlaConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let sla = SlaConfig::paper_default();
+        assert_eq!(sla.target_secs(), 0.4);
+        assert_eq!(sla.percentile(), 0.95);
+        assert!((sla.hpa_threshold_secs() - 0.26).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_boundary() {
+        let sla = SlaConfig::paper_default();
+        assert!(!sla.is_violated(0.4));
+        assert!(sla.is_violated(0.4000001));
+    }
+
+    #[test]
+    fn custom_sla() {
+        let sla = SlaConfig::new(1.0, 0.99, 0.5);
+        assert_eq!(sla.hpa_threshold_secs(), 0.5);
+        assert_eq!(sla.percentile(), 0.99);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(SlaConfig::default(), SlaConfig::paper_default());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn bad_percentile_panics() {
+        SlaConfig::new(0.4, 1.5, 0.65);
+    }
+
+    #[test]
+    #[should_panic(expected = "SLA target")]
+    fn zero_target_panics() {
+        SlaConfig::new(0.0, 0.95, 0.65);
+    }
+}

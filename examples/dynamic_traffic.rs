@@ -1,0 +1,64 @@
+//! Dynamic traffic: replay the paper's Figure 19 scenario — stepped query
+//! traffic against both allocation strategies with Kubernetes-style
+//! autoscaling — and print the timeline.
+//!
+//! Run with `cargo run --release --example dynamic_traffic`.
+
+use elasticrec::{plan, Calibration, Platform, Simulation, SimulationConfig, Strategy};
+use er_model::configs;
+use er_workload::TrafficSchedule;
+
+fn main() {
+    let calib = Calibration::cpu_only();
+    let model = configs::rm1();
+    // Traffic climbs 20 -> 100 QPS in five steps, then falls back to 40.
+    let schedule = TrafficSchedule::figure19(20.0, 30.0);
+    let duration = 240.0;
+
+    println!("RM1 under stepped traffic (SLA: p95 < 400 ms)\n");
+    let mut results = Vec::new();
+    for strategy in [Strategy::ModelWise, Strategy::Elastic] {
+        let p = plan(&model, Platform::CpuOnly, strategy, &calib);
+        let cfg = SimulationConfig::new(schedule.clone(), duration, 99);
+        let out = Simulation::run(&p, &calib, &cfg);
+        results.push((strategy, out));
+    }
+
+    println!(
+        "{:>6} {:>7} | {:>8} {:>8} | {:>9} {:>9} | {:>9} {:>9}",
+        "t(s)", "target", "qps(MW)", "qps(ER)", "mem(MW)", "mem(ER)", "p95(MW)", "p95(ER)"
+    );
+    let mw = &results[0].1;
+    let er = &results[1].1;
+    let mut t = 15.0;
+    while t <= duration {
+        println!(
+            "{:>6.0} {:>7.0} | {:>8.0} {:>8.0} | {:>6.0}GiB {:>6.0}GiB | {:>7.0}ms {:>7.0}ms",
+            t,
+            schedule.rate_at(t),
+            mw.achieved_qps.value_at(t).unwrap_or(0.0),
+            er.achieved_qps.value_at(t).unwrap_or(0.0),
+            mw.memory_gib.value_at(t).unwrap_or(0.0),
+            er.memory_gib.value_at(t).unwrap_or(0.0),
+            mw.p95_ms.value_at(t).unwrap_or(0.0),
+            er.p95_ms.value_at(t).unwrap_or(0.0),
+        );
+        t += 15.0;
+    }
+
+    println!();
+    for (strategy, out) in &results {
+        println!(
+            "{:?}: peak memory {:.0} GiB, mean latency {:.0} ms, SLA violations in {}/{} intervals",
+            strategy,
+            out.peak_memory_gib,
+            out.mean_latency_secs() * 1e3,
+            out.sla_violation_intervals,
+            out.metric_intervals,
+        );
+    }
+    println!(
+        "\nElasticRec's small shards start in seconds; the monolith reloads \
+         tens of GiB per replica,\nwhich is why model-wise lags every traffic step."
+    );
+}

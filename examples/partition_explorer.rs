@@ -1,0 +1,70 @@
+//! Partition explorer: watch the utility-based partitioning pipeline work
+//! on one embedding table — access distribution, gather-QPS profiling,
+//! Algorithm 1 cost estimation, and the Algorithm 2 DP — across a range
+//! of localities.
+//!
+//! Run with `cargo run --release --example partition_explorer`.
+
+use er_distribution::{AccessModel, LocalityTarget};
+use er_partition::{partition_bucketed, AnalyticGatherModel, CostModel, ProfiledQpsModel};
+
+const TABLE_ROWS: u64 = 20_000_000;
+const VECTOR_BYTES: u64 = 128; // dim 32 x f32
+const GATHERS_PER_QUERY: f64 = 4096.0; // batch 32 x pooling 128
+const MIN_MEM: u64 = 256 << 20;
+
+fn main() {
+    println!("Partitioning a {TABLE_ROWS}-row embedding table at varying locality\n");
+
+    // One-time profiling of a shard container's gather throughput — the
+    // paper's Figure 9 sweep, regressed into QPS(x).
+    let hardware = AnalyticGatherModel::new(3.0e-3, 20.0e6, VECTOR_BYTES);
+    let sweep = ProfiledQpsModel::standard_sweep(2.0 * GATHERS_PER_QUERY);
+    let qps_model = ProfiledQpsModel::profile(&hardware, &sweep);
+    println!(
+        "profiled {} QPS points: QPS(1) = {:.0}, QPS({GATHERS_PER_QUERY}) = {:.0}\n",
+        qps_model.points().len(),
+        qps_model.points()[0].1,
+        qps_model.points().last().expect("non-empty").1,
+    );
+
+    for p in [0.10, 0.50, 0.90, 0.99] {
+        let access = LocalityTarget::new(p).solve(TABLE_ROWS);
+        let cost = CostModel::new(
+            &access,
+            &qps_model,
+            GATHERS_PER_QUERY,
+            VECTOR_BYTES,
+            MIN_MEM,
+        )
+        .with_target_traffic(1000.0);
+        let plan = partition_bucketed(TABLE_ROWS, 8, 48, |k, j| cost.cost(k, j));
+
+        println!(
+            "locality P={:.0}% (Zipf exponent {:.3}) -> {} shard(s)",
+            p * 100.0,
+            access.exponent(),
+            plan.num_shards()
+        );
+        for (i, (k, j)) in plan.shards().into_iter().enumerate() {
+            let rows = j - k;
+            println!(
+                "  shard {i}: {:>10} rows ({:5.2}% of table) serving {:5.1}% of gathers, \
+                 ~{:.1} replicas at 1000 QPS",
+                rows,
+                100.0 * rows as f64 / TABLE_ROWS as f64,
+                100.0 * access.coverage(k, j),
+                cost.replicas(k, j),
+            );
+        }
+        let single = cost.cost(0, TABLE_ROWS);
+        let split: f64 = plan.shards().iter().map(|&(k, j)| cost.cost(k, j)).sum();
+        println!(
+            "  estimated memory: {:.1} GiB monolithic vs {:.1} GiB partitioned ({:.2}x)\n",
+            single / (1u64 << 30) as f64,
+            split / (1u64 << 30) as f64,
+            single / split
+        );
+    }
+    println!("Higher locality -> finer hot shards and bigger savings.");
+}

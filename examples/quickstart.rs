@@ -1,0 +1,70 @@
+//! Quickstart: plan, deploy, and serve a recommendation model with
+//! ElasticRec, and compare it against model-wise allocation.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use elasticrec::{
+    plan, Calibration, Platform, Simulation, SimulationConfig, SteadyState, Strategy,
+};
+use er_model::configs;
+use er_workload::TrafficSchedule;
+
+fn main() {
+    // 1. Pick a workload: RM1 from the paper's Table II — a DLRM with ten
+    //    20M-entry embedding tables and 128 gathers per table.
+    let model = configs::rm1();
+    let calib = Calibration::cpu_only();
+    println!(
+        "Serving {} ({} embedding tables, {:.1} GiB of embeddings)\n",
+        model.name,
+        model.tables.len(),
+        model.embedding_bytes() as f64 / (1u64 << 30) as f64,
+    );
+
+    // 2. Build both deployment plans. The Elastic plan runs the full paper
+    //    pipeline: locality solving, gather-QPS profiling, Algorithm 1 cost
+    //    estimation, and the Algorithm 2 DP partitioner.
+    let mw = plan(&model, Platform::CpuOnly, Strategy::ModelWise, &calib);
+    let er = plan(&model, Platform::CpuOnly, Strategy::Elastic, &calib);
+    println!("model-wise plan: {} deployment(s)", mw.num_shards());
+    println!(
+        "elastic plan:    {} deployments (1 dense + {} embedding shards; {} shards/table)",
+        er.num_shards(),
+        er.num_shards() - 1,
+        er.table_plans[0].num_shards(),
+    );
+
+    // 3. Size both for 100 QPS, the paper's CPU-only target.
+    let mw_s = SteadyState::size(&mw, 100.0, &calib).expect("cluster fits");
+    let er_s = SteadyState::size(&er, 100.0, &calib).expect("cluster fits");
+    println!("\nAt 100 QPS:");
+    println!(
+        "  model-wise: {:5.1} GiB over {} nodes ({} replicas)",
+        mw_s.memory_gib(),
+        mw_s.nodes_used,
+        mw_s.total_replicas()
+    );
+    println!(
+        "  elastic:    {:5.1} GiB over {} nodes ({} replicas)",
+        er_s.memory_gib(),
+        er_s.nodes_used,
+        er_s.total_replicas()
+    );
+    println!(
+        "  -> {:.1}x less memory, {:.1}x fewer servers",
+        mw_s.memory_gib() / er_s.memory_gib(),
+        mw_s.nodes_used as f64 / er_s.nodes_used as f64
+    );
+
+    // 4. Actually serve traffic on the simulated cluster and check the SLA.
+    let cfg = SimulationConfig::new(TrafficSchedule::constant(100.0), 60.0, 7);
+    let out = Simulation::run(&er, &calib, &cfg);
+    println!(
+        "\nServed {} queries in 60 simulated seconds: mean latency {:.0} ms, p95 {:.0} ms (SLA 400 ms)",
+        out.completed_queries,
+        out.mean_latency_secs() * 1e3,
+        out.latency.percentile(0.95) * 1e3,
+    );
+    assert!(out.latency.percentile(0.95) < 0.4, "the SLA must hold");
+    println!("SLA respected — done.");
+}

@@ -1,0 +1,273 @@
+//! Property-based tests over the core data structures and algorithms.
+
+use proptest::prelude::*;
+
+use er_cluster::{Cluster, HardwareProfile, PodSpec, ResourceRequest};
+use er_distribution::sorting::HotnessPermutation;
+use er_sim::SimTime;
+use er_distribution::{AccessModel, EmpiricalCdf, LocalityTarget, ZipfDistribution};
+use er_metrics::Histogram;
+use er_partition::{bucketize, partition_exact, PartitionPlan};
+
+/// Generates a valid (indices, offsets) lookup over a table of `rows`.
+fn lookup_strategy(rows: u32) -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (1usize..6).prop_flat_map(move |num_inputs| {
+        proptest::collection::vec(0..rows, 0..40).prop_flat_map(move |indices| {
+            let len = indices.len() as u32;
+            proptest::collection::vec(0..=len, num_inputs - 1).prop_map(move |mut mids| {
+                mids.sort_unstable();
+                let mut offsets = vec![0u32];
+                offsets.extend(mids);
+                (indices.clone(), offsets)
+            })
+        })
+    })
+}
+
+/// Generates a valid partition plan over a table of `rows`.
+fn plan_strategy(rows: u64) -> impl Strategy<Value = PartitionPlan> {
+    proptest::collection::btree_set(1..rows, 0..5).prop_map(move |cuts| {
+        let mut cuts: Vec<u64> = cuts.into_iter().collect();
+        cuts.push(rows);
+        PartitionPlan::new(cuts, rows).expect("constructed valid")
+    })
+}
+
+proptest! {
+    /// Bucketization never drops, invents, or corrupts a gather: for every
+    /// input, the multiset of global IDs reconstructed from the shards
+    /// equals the original.
+    #[test]
+    fn bucketize_preserves_gather_multisets(
+        (indices, offsets) in lookup_strategy(64),
+        plan in plan_strategy(64),
+    ) {
+        let b = bucketize(&indices, &offsets, &plan);
+        prop_assert_eq!(b.total_gathers(), indices.len());
+        for input in 0..offsets.len() {
+            let start = offsets[input] as usize;
+            let end = offsets.get(input + 1).map_or(indices.len(), |&o| o as usize);
+            let mut expect: Vec<u32> = indices[start..end].to_vec();
+            expect.sort_unstable();
+            let mut got: Vec<u32> = (0..plan.num_shards())
+                .flat_map(|s| {
+                    let base = plan.shard_base(s) as u32;
+                    b.shard_input_indices(s, input).iter().map(move |&l| l + base)
+                })
+                .collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    /// Rebased shard-local IDs always fall inside their shard.
+    #[test]
+    fn bucketize_ids_stay_in_shard_bounds(
+        (indices, offsets) in lookup_strategy(64),
+        plan in plan_strategy(64),
+    ) {
+        let b = bucketize(&indices, &offsets, &plan);
+        for s in 0..plan.num_shards() {
+            let size = plan.shard_size(s) as u32;
+            prop_assert!(b.indices[s].iter().all(|&i| i < size));
+        }
+    }
+
+    /// The DP partitioner never loses to brute-force enumeration.
+    #[test]
+    fn dp_is_optimal_against_brute_force(
+        n in 2u64..10,
+        s_max in 1usize..4,
+        a in 1.0f64..3.0,
+        b in 0.5f64..5.0,
+        c in 0.0f64..10.0,
+    ) {
+        let cost = move |k: u64, j: u64| ((j - k) as f64).powf(a) / (k as f64 + b) + c;
+        let dp = partition_exact(n, s_max, cost);
+        let dp_cost: f64 = dp.shards().iter().map(|&(k, j)| cost(k, j)).sum();
+
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << (n - 1)) {
+            if mask.count_ones() as usize >= s_max {
+                continue;
+            }
+            let mut cuts: Vec<u64> = (1..n).filter(|&cut| mask & (1 << (cut - 1)) != 0).collect();
+            cuts.push(n);
+            let plan = PartitionPlan::new(cuts, n).expect("valid");
+            let total: f64 = plan.shards().iter().map(|&(k, j)| cost(k, j)).sum();
+            best = best.min(total);
+        }
+        prop_assert!(dp_cost <= best + 1e-9, "dp {dp_cost} vs brute {best}");
+    }
+
+    /// Zipf CDFs are monotone and properly normalized for any exponent.
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalized(
+        n in 1u64..100_000,
+        s in 0.0f64..3.0,
+    ) {
+        let z = ZipfDistribution::new(n, s);
+        prop_assert_eq!(z.cdf(0), 0.0);
+        prop_assert!((z.cdf(n) - 1.0).abs() < 1e-6);
+        let step = (n / 17).max(1);
+        let mut prev = 0.0;
+        let mut x = 0;
+        while x <= n {
+            let c = z.cdf(x);
+            prop_assert!(c >= prev - 1e-12);
+            prev = c;
+            x += step;
+        }
+    }
+
+    /// The locality solver hits its target coverage for any feasible P.
+    #[test]
+    fn locality_solver_is_accurate(
+        p in 0.10f64..0.995,
+        n in 100u64..1_000_000,
+    ) {
+        let z = LocalityTarget::new(p).solve(n);
+        let got = z.cdf(((n as f64) * 0.10).round() as u64);
+        prop_assert!((got - p).abs() < 0.02, "p={p} got={got}");
+    }
+
+    /// Hotness sorting produces a true permutation with non-increasing
+    /// counts.
+    #[test]
+    fn hotness_sort_is_a_valid_permutation(
+        counts in proptest::collection::vec(0u64..1000, 1..200),
+    ) {
+        let perm = HotnessPermutation::from_counts(&counts);
+        // Bijection.
+        let mut seen = vec![false; counts.len()];
+        for pos in 0..counts.len() as u32 {
+            let orig = perm.to_original(pos);
+            prop_assert!(!seen[orig as usize]);
+            seen[orig as usize] = true;
+            prop_assert_eq!(perm.to_sorted(orig), pos);
+        }
+        // Sorted order.
+        let sorted = perm.apply(&counts);
+        for w in sorted.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+    }
+
+    /// Empirical CDFs built from any counts are valid access models.
+    #[test]
+    fn empirical_cdf_is_well_formed(
+        mut counts in proptest::collection::vec(0u64..10_000, 1..300),
+    ) {
+        counts[0] += 1; // ensure at least one access
+        let cdf = EmpiricalCdf::from_counts(&counts);
+        prop_assert_eq!(cdf.len(), counts.len() as u64);
+        prop_assert!((cdf.cdf(cdf.len()) - 1.0).abs() < 1e-9);
+        let mut prev = 0.0;
+        for x in 0..=cdf.len() {
+            let c = cdf.cdf(x);
+            prop_assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        // Total probability splits across any cut.
+        let mid = cdf.len() / 2;
+        let total = cdf.coverage(0, mid) + cdf.coverage(mid, cdf.len());
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Histogram percentiles are monotone in the quantile and bounded by
+    /// the extremes for any sample set.
+    #[test]
+    fn histogram_percentiles_are_sane(
+        samples in proptest::collection::vec(0.0f64..1e6, 1..500),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = h.percentile(q);
+            prop_assert!(v >= prev - 1e-9);
+            prop_assert!(v <= h.max() + 1e-9);
+            prev = v;
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// Random create/scale/delete sequences never break the cluster's
+    /// resource accounting: every node stays within capacity and the
+    /// memory metric equals the sum over live pods.
+    #[test]
+    fn cluster_accounting_survives_random_ops(
+        ops in proptest::collection::vec((0usize..3, 0usize..4, 1usize..6), 1..40),
+    ) {
+        let mut cluster = Cluster::new(HardwareProfile::cpu_only_node(), Some(16));
+        // Four deployment archetypes with varied footprints.
+        let specs: Vec<PodSpec> = (0..4)
+            .map(|i| {
+                PodSpec::new(
+                    format!("d{i}"),
+                    ResourceRequest::cpu(4_000 + 9_000 * i as u64, (2 + 7 * i as u64) << 30),
+                    1.0,
+                )
+            })
+            .collect();
+        let mut live = [false; 4];
+        for (op, which, count) in ops {
+            let name = format!("d{which}");
+            match op {
+                0 => {
+                    if !live[which] {
+                        let _ = cluster.create_deployment(
+                            &name,
+                            specs[which].clone(),
+                            count,
+                            SimTime::ZERO,
+                        );
+                        live[which] = true;
+                    }
+                }
+                1 => {
+                    if live[which] {
+                        let _ = cluster.scale_to(&name, count, SimTime::ZERO);
+                    }
+                }
+                _ => {
+                    if live[which] {
+                        let _ = cluster.delete_deployment(&name);
+                        live[which] = false;
+                    }
+                }
+            }
+            // Invariant 1: no node over capacity.
+            let cap = HardwareProfile::cpu_only_node();
+            for (_, alloc) in cluster.node_allocations() {
+                prop_assert!(alloc.cpu_millicores <= cap.cpu_millicores());
+                prop_assert!(alloc.memory_bytes <= cap.mem_bytes);
+            }
+            // Invariant 2: memory metric equals the sum over deployments.
+            let expect: u64 = (0..4)
+                .map(|i| {
+                    cluster.replicas(&format!("d{i}")) as u64
+                        * specs[i].resources().memory_bytes
+                })
+                .sum();
+            prop_assert_eq!(cluster.memory_allocated_bytes(), expect);
+            // Invariant 3: used nodes never exceed provisioned nodes.
+            prop_assert!(cluster.nodes_used() <= cluster.nodes_provisioned());
+        }
+    }
+
+    /// Partition plans tile their table for any cut set.
+    #[test]
+    fn plans_tile_the_table(plan in plan_strategy(1000)) {
+        let total: u64 = (0..plan.num_shards()).map(|s| plan.shard_size(s)).sum();
+        prop_assert_eq!(total, plan.table_len());
+        // shard_of_id agrees with the shard ranges.
+        for (s, (k, j)) in plan.shards().into_iter().enumerate() {
+            prop_assert_eq!(plan.shard_of_id(k), s);
+            prop_assert_eq!(plan.shard_of_id(j - 1), s);
+        }
+    }
+}
