@@ -1,0 +1,262 @@
+//! The parallel shard data plane: a persistent worker pool executing one
+//! query's embedding-shard gathers concurrently.
+//!
+//! ElasticRec's microservices run every embedding shard as an independent
+//! container, so one query's shard gathers are naturally concurrent
+//! (Section IV); the sequential [`crate::ShardedDlrm`] walk models that
+//! fan-out but executes it one shard at a time. [`ParallelShardExecutor`]
+//! supplies the missing execution substrate: `threads` long-lived workers,
+//! each owning its own crossbeam task queue. Shard tasks are routed to
+//! queues by shard key (so one shard's work always lands on the same
+//! worker, like requests pinned to a microservice replica), results carry
+//! their submission slot, and callers merge partial pools in a fixed
+//! reduction order — making outputs bit-comparable run-to-run and across
+//! thread counts.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent crossbeam worker pool with per-worker task queues, sized
+/// once and reused across queries.
+///
+/// # Examples
+///
+/// ```
+/// use elasticrec::ParallelShardExecutor;
+///
+/// let pool = ParallelShardExecutor::new(4);
+/// let squares = pool.run((0..8).map(|i| {
+///     (i, Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+/// }));
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub struct ParallelShardExecutor {
+    queues: Vec<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// In-flight results of a [`ParallelShardExecutor::scatter`] call.
+///
+/// Collecting restores submission order regardless of completion order, so
+/// reductions over the results are deterministic.
+#[must_use = "collect() must be called to retrieve task results"]
+pub struct Pending<T> {
+    rx: Receiver<(usize, T)>,
+    n: usize,
+}
+
+impl ParallelShardExecutor {
+    /// Spawns a pool of `threads` workers (at least one), each with its own
+    /// task queue.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let mut queues = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (tx, rx) = unbounded::<Job>();
+            let handle = std::thread::Builder::new()
+                .name(format!("er-shard-worker-{w}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        // A panicking task must not take the worker (and
+                        // every shard pinned to it) down with it; the panic
+                        // resurfaces at collect() as a missing result.
+                        let _ = catch_unwind(AssertUnwindSafe(job));
+                    }
+                })
+                .expect("spawn shard worker");
+            queues.push(tx);
+            workers.push(handle);
+        }
+        Self { queues, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueues one task on the queue owned by `key % threads` — all work
+    /// for one shard lands on one worker, in submission order.
+    pub fn submit(&self, key: usize, job: Job) {
+        assert!(
+            self.queues[key % self.queues.len()].send(job).is_ok(),
+            "worker alive while executor exists"
+        );
+    }
+
+    /// Submits a batch of keyed tasks and returns immediately; the caller
+    /// can overlap its own work (e.g. the dense bottom MLP) before
+    /// collecting.
+    pub fn scatter<T, I>(&self, jobs: I) -> Pending<T>
+    where
+        T: Send + 'static,
+        I: IntoIterator<Item = (usize, Box<dyn FnOnce() -> T + Send>)>,
+    {
+        let (tx, rx) = unbounded();
+        let mut n = 0;
+        for (slot, (key, job)) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.submit(
+                key,
+                Box::new(move || {
+                    // The receiver outlives the tasks unless collect()
+                    // already panicked; a refused send is then harmless.
+                    let _ = tx.send((slot, job()));
+                }),
+            );
+            n += 1;
+        }
+        Pending { rx, n }
+    }
+
+    /// [`ParallelShardExecutor::scatter`] + [`Pending::collect`] in one
+    /// call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task panicked.
+    pub fn run<T, I>(&self, jobs: I) -> Vec<T>
+    where
+        T: Send + 'static,
+        I: IntoIterator<Item = (usize, Box<dyn FnOnce() -> T + Send>)>,
+    {
+        self.scatter(jobs).collect()
+    }
+}
+
+impl<T> Pending<T> {
+    /// Blocks until every task finished and returns results in submission
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task panicked (its result never arrives).
+    pub fn collect(self) -> Vec<T> {
+        let mut out: Vec<Option<T>> = (0..self.n).map(|_| None).collect();
+        for _ in 0..self.n {
+            let (slot, value) = self
+                .rx
+                .recv()
+                .unwrap_or_else(|_| panic!("shard task panicked before returning a result"));
+            out[slot] = Some(value);
+        }
+        out.into_iter()
+            .map(|v| v.expect("each slot filled exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for ParallelShardExecutor {
+    fn drop(&mut self) {
+        // Disconnect every queue so workers drain and exit their recv loop.
+        self.queues.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ParallelShardExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelShardExecutor")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn job<T: Send + 'static>(
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> Box<dyn FnOnce() -> T + Send> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = ParallelShardExecutor::new(4);
+        // Reverse-staggered work so completion order differs from
+        // submission order.
+        let out = pool.run((0..16usize).map(|i| {
+            (
+                i,
+                job(move || {
+                    std::thread::sleep(std::time::Duration::from_micros(((16 - i) * 50) as u64));
+                    i * 10
+                }),
+            )
+        }));
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = ParallelShardExecutor::new(2);
+        for round in 0..5usize {
+            let out = pool.run((0..8usize).map(|i| (i, job(move || i + round))));
+            assert_eq!(out, (0..8).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn same_key_runs_on_one_worker_in_order() {
+        let pool = ParallelShardExecutor::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        // All tasks share key 7 -> same queue -> strictly sequential, so
+        // fetch_add observes 0..n in order.
+        let out = pool.run((0..32usize).map(|_| {
+            let counter = Arc::clone(&counter);
+            (7usize, job(move || counter.fetch_add(1, Ordering::SeqCst)))
+        }));
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scatter_allows_overlapped_caller_work() {
+        let pool = ParallelShardExecutor::new(2);
+        let pending = pool.scatter((0..4usize).map(|i| (i, job(move || i * 2))));
+        let own_work: usize = (0..100).sum();
+        assert_eq!(pending.collect(), vec![0, 2, 4, 6]);
+        assert_eq!(own_work, 4950);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ParallelShardExecutor::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run([(0usize, job(|| 42))]), vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard task panicked")]
+    fn task_panic_surfaces_at_collect() {
+        let pool = ParallelShardExecutor::new(2);
+        let _ = pool.run([(0usize, job(|| panic!("boom"))), (1usize, job(|| 1))]);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_task() {
+        let pool = ParallelShardExecutor::new(1);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run([(0usize, job(|| panic!("boom")))])
+        }));
+        assert!(r.is_err());
+        // The single worker absorbed the panic and still serves tasks.
+        assert_eq!(pool.run([(0usize, job(|| 5))]), vec![5]);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let pool = ParallelShardExecutor::new(4);
+        let _ = pool.run((0..8usize).map(|i| (i, job(move || i))));
+        drop(pool); // must not hang or leak
+    }
+}

@@ -16,7 +16,8 @@
 //! * [`utility`] measures per-shard memory utility (Figures 14/17);
 //! * [`ShardedDlrm`] is the functional serving path (hotness sort →
 //!   bucketize → distributed gather → merge) proven bit-identical to the
-//!   monolithic model.
+//!   monolithic model, optionally executing shard gathers concurrently on
+//!   a [`ParallelShardExecutor`] with a deterministic merge order.
 //!
 //! # Examples
 //!
@@ -35,6 +36,7 @@
 
 mod calib;
 mod engine;
+mod executor;
 mod planning;
 mod sharded;
 mod shards;
@@ -43,6 +45,7 @@ pub mod utility;
 
 pub use calib::Calibration;
 pub use engine::{Simulation, SimulationConfig, SimulationOutcome, StageBreakdown};
+pub use executor::{ParallelShardExecutor, Pending};
 pub use planning::{
     plan, plan_elastic_fixed_shards, plan_elastic_with_plans, Platform, ServingPlan, Strategy,
 };

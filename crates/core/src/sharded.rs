@@ -7,11 +7,21 @@
 //! to produce the same results as the monolithic model. This is the
 //! correctness argument for the whole decomposition: partitioning is an
 //! execution detail, not a model change.
+//!
+//! Shard gathers are independent, so the walk can run sequentially (the
+//! oracle, [`ShardedDlrm::forward_seq`]) or concurrently on a
+//! [`ParallelShardExecutor`] ([`ShardedDlrm::forward_with`]); partial pools
+//! are always merged in ascending shard order, so both paths produce
+//! bit-identical outputs at every thread count.
+
+use std::sync::Arc;
 
 use er_distribution::sorting::HotnessPermutation;
 use er_model::{Dlrm, EmbeddingTable, QueryBatch, TableLookup};
-use er_partition::{bucketize, PartitionPlan};
+use er_partition::{bucketize, bucketize_tables, PartitionPlan};
 use er_tensor::Matrix;
+
+use crate::ParallelShardExecutor;
 
 /// A DLRM decomposed into embedding shards, functionally equivalent to the
 /// monolithic model it was built from.
@@ -37,6 +47,14 @@ use er_tensor::Matrix;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ShardedDlrm {
+    // Shared immutable model state, so executor tasks (which must be
+    // 'static) can hold it across threads without copying tables.
+    inner: Arc<Inner>,
+    executor: Option<Arc<ParallelShardExecutor>>,
+}
+
+#[derive(Debug)]
+struct Inner {
     dlrm: Dlrm,
     perms: Vec<HotnessPermutation>,
     plans: Vec<PartitionPlan>,
@@ -107,23 +125,154 @@ impl ShardedDlrm {
             shard_tables.push(shards);
         }
         Ok(Self {
-            dlrm,
-            perms,
-            plans,
-            shard_tables,
+            inner: Arc::new(Inner {
+                dlrm,
+                perms,
+                plans,
+                shard_tables,
+            }),
+            executor: None,
         })
+    }
+
+    /// Attaches a shared executor; [`ShardedDlrm::forward`] then runs shard
+    /// gathers concurrently on it (when it has more than one thread).
+    ///
+    /// One executor can be shared by many models — clones of this
+    /// `ShardedDlrm` share both the model state and the executor.
+    #[must_use]
+    pub fn with_executor(mut self, executor: Arc<ParallelShardExecutor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// The attached executor, if any.
+    pub fn executor(&self) -> Option<&Arc<ParallelShardExecutor>> {
+        self.executor.as_ref()
     }
 
     /// The underlying monolithic model.
     pub fn dlrm(&self) -> &Dlrm {
-        &self.dlrm
+        &self.inner.dlrm
     }
 
     /// The partition plans, per table.
     pub fn plans(&self) -> &[PartitionPlan] {
-        &self.plans
+        &self.inner.plans
     }
 
+    /// Full forward pass through the sharded serving path.
+    ///
+    /// Dispatches to [`ShardedDlrm::forward_with`] when an executor with
+    /// more than one thread is attached, and to
+    /// [`ShardedDlrm::forward_seq`] otherwise. Both produce bit-identical
+    /// results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query addresses a different number of tables than the
+    /// model has.
+    pub fn forward(&self, query: &QueryBatch) -> Matrix {
+        match &self.executor {
+            Some(exec) if exec.threads() > 1 => self.forward_with(query, exec),
+            _ => self.forward_seq(query),
+        }
+    }
+
+    /// Sequential forward pass: one shard gather at a time, in (table,
+    /// shard) order. This is the oracle the parallel path is verified
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query addresses a different number of tables than the
+    /// model has.
+    pub fn forward_seq(&self, query: &QueryBatch) -> Matrix {
+        self.check_query(query);
+        let bottom = self.inner.dlrm.forward_bottom(&query.dense);
+        let pooled: Vec<Matrix> = query
+            .lookups
+            .iter()
+            .enumerate()
+            .map(|(t, l)| self.inner.sparse_table(t, l))
+            .collect();
+        self.inner.dlrm.forward_top(&bottom, &pooled)
+    }
+
+    /// Parallel forward pass: every (table, shard) gather becomes one task
+    /// on `executor`, the dense bottom MLP runs on the caller thread while
+    /// gathers are in flight (like the paper's dense DNN shard overlapping
+    /// embedding RPCs), and partial pools are merged in ascending shard
+    /// order — bit-identical to [`ShardedDlrm::forward_seq`] at every
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query addresses a different number of tables than the
+    /// model has, or a shard task panics.
+    pub fn forward_with(&self, query: &QueryBatch, executor: &ParallelShardExecutor) -> Matrix {
+        self.check_query(query);
+        let inner = &self.inner;
+        // Remap each table's lookup into sorted-ID space, then bucketize
+        // every table (table-parallel) up front.
+        let sorted: Vec<TableLookup> = query
+            .lookups
+            .iter()
+            .enumerate()
+            .map(|(t, l)| l.map_indices(|orig| inner.perms[t].to_sorted(orig)))
+            .collect();
+        let raw: Vec<(&[u32], &[u32])> =
+            sorted.iter().map(|l| (l.indices(), l.offsets())).collect();
+        let buckets = bucketize_tables(&raw, &inner.plans, executor.threads());
+        // One task per (table, shard), keyed by a running shard counter so
+        // work spreads round-robin across the pinned worker queues.
+        let mut jobs: Vec<(usize, Box<dyn FnOnce() -> Matrix + Send>)> = Vec::new();
+        for (t, bucket) in buckets.into_iter().enumerate() {
+            for (s, (idx, off)) in bucket.indices.into_iter().zip(bucket.offsets).enumerate() {
+                let inner = Arc::clone(inner);
+                jobs.push((
+                    jobs.len(),
+                    Box::new(move || {
+                        let lookup =
+                            TableLookup::new(idx, off).expect("bucketize emits valid offsets");
+                        inner.shard_tables[t][s].gather_pool_fused(&lookup)
+                    }),
+                ));
+            }
+        }
+        let pending = executor.scatter(jobs);
+        // Dense bottom overlaps with the in-flight shard gathers.
+        let bottom = inner.dlrm.forward_bottom(&query.dense);
+        let partials = pending.collect();
+        // Deterministic merge: collect() restored submission order, so
+        // summing each table's run of partials walks shards in ascending
+        // order — the exact FP op sequence of the sequential path.
+        let mut pooled = Vec::with_capacity(inner.plans.len());
+        let mut it = partials.into_iter();
+        for (t, plan) in inner.plans.iter().enumerate() {
+            let dim = inner.dlrm.tables()[t].dim() as usize;
+            let mut acc = Matrix::zeros(query.lookups[t].num_inputs(), dim);
+            for _ in 0..plan.num_shards() {
+                let partial = it.next().expect("one partial per shard");
+                acc = acc.add(&partial).expect("shapes match by construction");
+            }
+            pooled.push(acc);
+        }
+        inner.dlrm.forward_top(&bottom, &pooled)
+    }
+
+    fn check_query(&self, query: &QueryBatch) {
+        assert_eq!(
+            query.lookups.len(),
+            self.inner.plans.len(),
+            "query addresses {} tables, model has {}",
+            query.lookups.len(),
+            self.inner.plans.len()
+        );
+    }
+}
+
+impl Inner {
     /// Runs the sparse stage the distributed way for one table: remap to
     /// sorted IDs, bucketize, gather per shard, sum the partial pools.
     fn sparse_table(&self, t: usize, lookup: &TableLookup) -> Matrix {
@@ -135,34 +284,10 @@ impl ShardedDlrm {
             let shard_lookup =
                 TableLookup::new(buckets.indices[s].clone(), buckets.offsets[s].clone())
                     .expect("bucketize emits valid offsets");
-            let partial = table.gather_pool(&shard_lookup);
+            let partial = table.gather_pool_fused(&shard_lookup);
             pooled = pooled.add(&partial).expect("shapes match by construction");
         }
         pooled
-    }
-
-    /// Full forward pass through the sharded serving path.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the query addresses a different number of tables than the
-    /// model has.
-    pub fn forward(&self, query: &QueryBatch) -> Matrix {
-        assert_eq!(
-            query.lookups.len(),
-            self.plans.len(),
-            "query addresses {} tables, model has {}",
-            query.lookups.len(),
-            self.plans.len()
-        );
-        let bottom = self.dlrm.forward_bottom(&query.dense);
-        let pooled: Vec<Matrix> = query
-            .lookups
-            .iter()
-            .enumerate()
-            .map(|(t, l)| self.sparse_table(t, l))
-            .collect();
-        self.dlrm.forward_top(&bottom, &pooled)
     }
 }
 
@@ -231,6 +356,49 @@ mod tests {
     }
 
     #[test]
+    fn parallel_forward_is_bit_identical_to_sequential() {
+        let (cfg, _, sharded) = setup(300, 3, vec![30, 120, 300]);
+        let gen = QueryGenerator::new(&cfg);
+        let mut rng = SimRng::seed_from(17);
+        for threads in [1, 2, 3, 8] {
+            let exec = ParallelShardExecutor::new(threads);
+            for _ in 0..3 {
+                let q = gen.generate(&mut rng);
+                assert_eq!(
+                    sharded.forward_seq(&q),
+                    sharded.forward_with(&q, &exec),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attached_executor_routes_forward_through_parallel_path() {
+        let (cfg, _, sharded) = setup(128, 2, vec![16, 64, 128]);
+        let exec = Arc::new(ParallelShardExecutor::new(4));
+        let par = sharded.clone().with_executor(Arc::clone(&exec));
+        assert_eq!(par.executor().map(|e| e.threads()), Some(4));
+        let q = QueryGenerator::new(&cfg).generate(&mut SimRng::seed_from(23));
+        assert_eq!(sharded.forward(&q), par.forward(&q));
+    }
+
+    #[test]
+    fn executor_is_reusable_across_queries_and_models() {
+        let exec = Arc::new(ParallelShardExecutor::new(3));
+        for seed in [1u64, 2] {
+            let (cfg, _, sharded) = setup(100 + seed * 20, 2, vec![10, 50, 100 + seed * 20]);
+            let par = sharded.clone().with_executor(Arc::clone(&exec));
+            let gen = QueryGenerator::new(&cfg);
+            let mut rng = SimRng::seed_from(seed);
+            for _ in 0..2 {
+                let q = gen.generate(&mut rng);
+                assert_eq!(sharded.forward_seq(&q), par.forward(&q));
+            }
+        }
+    }
+
+    #[test]
     fn validation_catches_mismatches() {
         let cfg = configs::rm1().scaled_tables(100).with_num_tables(2);
         let model = Dlrm::with_seed(&cfg, 3);
@@ -263,5 +431,6 @@ mod tests {
         assert_eq!(sharded.plans().len(), 2);
         assert_eq!(sharded.plans()[0].num_shards(), 2);
         assert_eq!(sharded.dlrm().tables().len(), 2);
+        assert!(sharded.executor().is_none());
     }
 }

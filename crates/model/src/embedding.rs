@@ -116,6 +116,32 @@ impl EmbeddingTable {
         out
     }
 
+    /// Fused gather+pool: the same `EmbeddingBag` operation as
+    /// [`EmbeddingTable::gather_pool`], pooled directly out of the table's
+    /// flat storage, with the accumulation loop dispatched to an
+    /// AVX2-compiled clone on x86-64 CPUs that support it (the same Rust
+    /// code recompiled for 256-bit vectors — no intrinsics, no FP
+    /// reordering). Per output element the additions happen in exactly the
+    /// reference order (lookup order, ascending dim), so results are
+    /// **bit-identical** — `gather_pool` stays as the test oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather_pool_fused(&self, lookup: &TableLookup) -> Matrix {
+        let n_inputs = lookup.num_inputs();
+        let d = self.dim as usize;
+        let mut out = Matrix::zeros(n_inputs, d);
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { gather_pool_avx2(&self.data, self.rows, lookup, &mut out) };
+            return out;
+        }
+        gather_pool_body(&self.data, self.rows, lookup, &mut out);
+        out
+    }
+
     /// Extracts the sub-table covering rows `[start, end)` — how a
     /// partitioned embedding shard's storage is built.
     ///
@@ -154,6 +180,85 @@ impl EmbeddingTable {
             data,
         }
     }
+}
+
+/// The fused gather+pool accumulation recompiled with 256-bit vectors.
+/// Identical Rust code to [`gather_pool_body`], so the FP op sequence (and
+/// therefore the result) is exactly that of the portable build.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gather_pool_avx2(data: &[f32], rows: u32, lookup: &TableLookup, out: &mut Matrix) {
+    gather_pool_body(data, rows, lookup, out);
+}
+
+#[inline(always)]
+fn gather_pool_body(data: &[f32], rows: u32, lookup: &TableLookup, out: &mut Matrix) {
+    let d = out.cols();
+    for input in 0..lookup.num_inputs() {
+        let row = out.row_mut(input);
+        for &id in lookup.indices_for(input) {
+            assert!(id < rows, "embedding id {id} out of range ({rows})");
+            let base = id as usize * d;
+            let vec = &data[base..base + d];
+            for (o, &v) in row.iter_mut().zip(vec) {
+                *o += v;
+            }
+        }
+    }
+}
+
+/// Runs the fused gather+pool over many tables at once, table-parallel
+/// across up to `threads` scoped worker threads — the multi-table sparse
+/// stage of a DLRM forward pass. Tables are independent, so results are
+/// bit-identical to the sequential per-table kernels at every thread count,
+/// and output order always matches table order.
+///
+/// `threads <= 1` (or a single table) runs inline without spawning.
+///
+/// # Panics
+///
+/// Panics if `tables` and `lookups` lengths differ, or any index is out of
+/// range for its table.
+pub fn gather_pool_all(
+    tables: &[EmbeddingTable],
+    lookups: &[TableLookup],
+    threads: usize,
+) -> Vec<Matrix> {
+    assert_eq!(
+        tables.len(),
+        lookups.len(),
+        "got {} tables but {} lookups",
+        tables.len(),
+        lookups.len()
+    );
+    let threads = threads.max(1).min(tables.len().max(1));
+    if threads == 1 {
+        return tables
+            .iter()
+            .zip(lookups)
+            .map(|(t, l)| t.gather_pool_fused(l))
+            .collect();
+    }
+    let mut out: Vec<Option<Matrix>> = vec![None; tables.len()];
+    let chunk = tables.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for ((out_chunk, table_chunk), lookup_chunk) in out
+            .chunks_mut(chunk)
+            .zip(tables.chunks(chunk))
+            .zip(lookups.chunks(chunk))
+        {
+            scope.spawn(move || {
+                for ((slot, table), lookup) in
+                    out_chunk.iter_mut().zip(table_chunk).zip(lookup_chunk)
+                {
+                    *slot = Some(table.gather_pool_fused(lookup));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.expect("every chunk filled by its worker"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -242,6 +347,66 @@ mod tests {
         let t = tiny();
         let lookup = TableLookup::new(vec![4], vec![0]).unwrap();
         t.gather_pool(&lookup);
+    }
+
+    #[test]
+    fn fused_gather_is_bit_identical_to_reference() {
+        // Dims exercising the 4-wide unroll: below, at, and past multiples.
+        for dim in [1u32, 3, 4, 5, 8, 11] {
+            let t = EmbeddingTable::with_seed(50, dim, 21);
+            let lookup =
+                TableLookup::new(vec![0, 49, 7, 7, 23, 12, 3, 44, 44, 44], vec![0, 2, 2, 6])
+                    .unwrap();
+            assert_eq!(
+                t.gather_pool(&lookup),
+                t.gather_pool_fused(&lookup),
+                "dim {dim}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_gather_handles_empty_bags() {
+        let t = tiny();
+        let lookup = TableLookup::new(vec![1], vec![0, 0]).unwrap();
+        assert_eq!(t.gather_pool(&lookup), t.gather_pool_fused(&lookup));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fused_gather_rejects_bad_ids() {
+        let t = tiny();
+        let lookup = TableLookup::new(vec![4], vec![0]).unwrap();
+        t.gather_pool_fused(&lookup);
+    }
+
+    #[test]
+    fn gather_pool_all_matches_per_table_kernels() {
+        let tables: Vec<EmbeddingTable> = (0..5)
+            .map(|i| EmbeddingTable::with_seed(40 + i, 8, i as u64))
+            .collect();
+        let lookups: Vec<TableLookup> = (0..5)
+            .map(|i| TableLookup::new(vec![i, 39 + i, 2 * i, 7], vec![0, 1, 3]).unwrap())
+            .collect();
+        let expect: Vec<Matrix> = tables
+            .iter()
+            .zip(&lookups)
+            .map(|(t, l)| t.gather_pool(l))
+            .collect();
+        for threads in [0, 1, 2, 5, 16] {
+            assert_eq!(
+                gather_pool_all(&tables, &lookups, threads),
+                expect,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tables but")]
+    fn gather_pool_all_rejects_mismatched_lengths() {
+        let tables = vec![tiny()];
+        gather_pool_all(&tables, &[], 2);
     }
 
     #[test]

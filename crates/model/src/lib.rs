@@ -27,7 +27,7 @@ mod query;
 
 pub use configs::{EmbeddingTableConfig, MicrobenchGrid, MlpSize, ModelConfig};
 pub use dlrm::Dlrm;
-pub use embedding::EmbeddingTable;
+pub use embedding::{gather_pool_all, EmbeddingTable};
 pub use flops::{dense_phase_flops, CostBreakdown, LayerCosts};
 pub use interaction::dot_interaction;
 pub use query::{AccessCounter, LookupError, QueryBatch, QueryGenerator, TableLookup};

@@ -30,7 +30,7 @@ mod dp;
 mod plan;
 mod qps_model;
 
-pub use bucketize::{bucketize, BucketizedLookup};
+pub use bucketize::{bucketize, bucketize_tables, BucketizedLookup};
 pub use cost::CostModel;
 pub use dp::{partition_bucketed, partition_bucketed_k, partition_exact};
 pub use plan::PartitionPlan;

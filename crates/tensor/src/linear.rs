@@ -91,8 +91,9 @@ impl Linear {
     ///
     /// Panics if `x.cols() != in_dim()`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
+        // The blocked kernel is bit-identical to the naive one, just faster.
         let z = x
-            .matmul(&self.weights)
+            .matmul_blocked(&self.weights)
             .unwrap_or_else(|e| panic!("linear layer shape mismatch: {e}"));
         let z = z
             .add_row_broadcast(&self.bias)

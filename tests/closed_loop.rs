@@ -3,9 +3,12 @@
 //! counts, partition from it, and check that Algorithm 1's CDF-based load
 //! predictions match what the shards actually receive.
 
+use std::sync::Arc;
+
+use elasticrec::{ParallelShardExecutor, ShardedDlrm};
 use er_distribution::sorting::HotnessPermutation;
 use er_distribution::{AccessModel, EmpiricalCdf};
-use er_model::{configs, AccessCounter, QueryGenerator};
+use er_model::{configs, AccessCounter, Dlrm, QueryGenerator};
 use er_partition::{partition_bucketed, AnalyticGatherModel, CostModel};
 use er_sim::SimRng;
 
@@ -69,6 +72,40 @@ fn observed_counts_drive_an_accurate_partition() {
         head_share > 0.5 && head_size < 0.3,
         "head serves {head_share:.2} of traffic from {head_size:.2} of rows"
     );
+}
+
+#[test]
+fn observed_partition_serves_identically_in_parallel() {
+    // Close the loop all the way to serving: observe traffic, partition
+    // from the observed counts, decompose the model onto the resulting
+    // shards, and serve fresh queries through the parallel data plane —
+    // which must be bit-identical to the sequential shard walk.
+    let rows = 600u64;
+    let cfg = configs::rm1().scaled_tables(rows).with_num_tables(1);
+    let gen = QueryGenerator::new(&cfg);
+    let mut rng = SimRng::seed_from(55);
+    let mut counter = AccessCounter::new(&cfg);
+    for _ in 0..TRAIN_QUERIES {
+        counter.observe(&gen.generate(&mut rng));
+    }
+    let counts = counter.into_counts().remove(0);
+
+    let cdf = EmpiricalCdf::from_counts(&counts);
+    let n_t = (cfg.batch_size as u64 * cfg.tables[0].pooling as u64) as f64;
+    let qps = AnalyticGatherModel::new(3.0e-3, 20.0e6, 128);
+    let cost = CostModel::new(&cdf, &qps, n_t, 128, 1024).with_target_traffic(10_000.0);
+    let plan = partition_bucketed(rows, 4, 60, |k, j| cost.cost(k, j));
+    assert!(plan.num_shards() >= 2);
+
+    let model = Dlrm::with_seed(&cfg, 19);
+    let sharded =
+        ShardedDlrm::new(model, std::slice::from_ref(&counts), vec![plan]).expect("valid");
+    let exec = Arc::new(ParallelShardExecutor::new(4));
+    let par = sharded.clone().with_executor(exec);
+    for _ in 0..5 {
+        let q = gen.generate(&mut rng);
+        assert_eq!(sharded.forward_seq(&q), par.forward(&q));
+    }
 }
 
 #[test]

@@ -1,13 +1,18 @@
 //! Property-based tests over the core data structures and algorithms.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
+use elasticrec::{ParallelShardExecutor, ShardedDlrm};
 use er_cluster::{Cluster, HardwareProfile, PodSpec, ResourceRequest};
 use er_distribution::sorting::HotnessPermutation;
-use er_sim::SimTime;
 use er_distribution::{AccessModel, EmpiricalCdf, LocalityTarget, ZipfDistribution};
 use er_metrics::Histogram;
-use er_partition::{bucketize, partition_exact, PartitionPlan};
+use er_model::{configs, Dlrm, EmbeddingTable, QueryGenerator, TableLookup};
+use er_partition::{bucketize, bucketize_tables, partition_exact, PartitionPlan};
+use er_sim::{SimRng, SimTime};
+use er_tensor::Matrix;
 
 /// Generates a valid (indices, offsets) lookup over a table of `rows`.
 fn lookup_strategy(rows: u32) -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
@@ -30,6 +35,28 @@ fn plan_strategy(rows: u64) -> impl Strategy<Value = PartitionPlan> {
         let mut cuts: Vec<u64> = cuts.into_iter().collect();
         cuts.push(rows);
         PartitionPlan::new(cuts, rows).expect("constructed valid")
+    })
+}
+
+/// Generates conforming matmul operands with exact zeros sprinkled in (the
+/// fast kernels have a zero-skip path that must not change results).
+fn matmul_operands() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..24, 1usize..24, 1usize..40).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-2.0f32..2.0, m * k),
+            proptest::collection::vec(-2.0f32..2.0, k * n),
+        )
+            .prop_map(move |(mut a, b)| {
+                for (i, v) in a.iter_mut().enumerate() {
+                    if i % 7 == 0 {
+                        *v = 0.0;
+                    }
+                }
+                (
+                    Matrix::from_vec(m, k, a).expect("sized to m*k"),
+                    Matrix::from_vec(k, n, b).expect("sized to k*n"),
+                )
+            })
     })
 }
 
@@ -257,6 +284,79 @@ proptest! {
             // Invariant 3: used nodes never exceed provisioned nodes.
             prop_assert!(cluster.nodes_used() <= cluster.nodes_provisioned());
         }
+    }
+
+    /// The blocked and row-parallel matmul kernels are bit-identical to
+    /// the naive oracle — not merely close — for any shape, any data
+    /// (including exact zeros, which exercise the skip path), and any
+    /// thread count.
+    #[test]
+    fn fast_matmul_kernels_match_naive_exactly(
+        (a, b) in matmul_operands(),
+        threads in 1usize..9,
+    ) {
+        let naive = a.matmul(&b).expect("shapes conform");
+        prop_assert_eq!(&naive, &a.matmul_blocked(&b).expect("shapes conform"));
+        prop_assert_eq!(&naive, &a.matmul_parallel(&b, threads).expect("shapes conform"));
+    }
+
+    /// The fused gather+pool kernel is bit-identical to the slice-based
+    /// reference for any lookup shape and embedding width.
+    #[test]
+    fn fused_gather_matches_reference_exactly(
+        (indices, offsets) in lookup_strategy(64),
+        dim in 1u32..33,
+        seed in 0u64..1000,
+    ) {
+        let table = EmbeddingTable::with_seed(64, dim, seed);
+        let lookup = TableLookup::new(indices, offsets).expect("strategy emits valid lookups");
+        prop_assert_eq!(table.gather_pool(&lookup), table.gather_pool_fused(&lookup));
+    }
+
+    /// Table-parallel bucketization equals the per-table calls at every
+    /// thread count.
+    #[test]
+    fn table_parallel_bucketize_matches_per_table(
+        tables in proptest::collection::vec((lookup_strategy(64), plan_strategy(64)), 1..6),
+        threads in 0usize..9,
+    ) {
+        let lookups: Vec<(&[u32], &[u32])> = tables
+            .iter()
+            .map(|((i, o), _)| (i.as_slice(), o.as_slice()))
+            .collect();
+        let plans: Vec<PartitionPlan> = tables.iter().map(|(_, p)| p.clone()).collect();
+        let expect: Vec<_> = lookups
+            .iter()
+            .zip(&plans)
+            .map(|(&(i, o), p)| bucketize(i, o, p))
+            .collect();
+        prop_assert_eq!(bucketize_tables(&lookups, &plans, threads), expect);
+    }
+
+    /// A forward pass on the parallel shard executor is bit-identical to
+    /// the sequential shard walk for any partition, seed, and thread
+    /// count.
+    #[test]
+    fn executor_forward_matches_sequential_for_any_partition(
+        cuts in proptest::collection::btree_set(1u64..96, 0..4),
+        threads in 1usize..9,
+        seed in 0u64..100,
+    ) {
+        let rows = 96u64;
+        let cfg = configs::rm1().scaled_tables(rows).with_num_tables(2);
+        let model = Dlrm::with_seed(&cfg, seed);
+        let counts: Vec<Vec<u64>> = (0..2u64)
+            .map(|t| (0..rows).map(|i| ((i * 31 + seed + t) % rows) + 1).collect())
+            .collect();
+        let mut cuts: Vec<u64> = cuts.into_iter().collect();
+        cuts.push(rows);
+        let plans = vec![PartitionPlan::new(cuts, rows).expect("valid"); 2];
+        let sharded = ShardedDlrm::new(model, &counts, plans).expect("valid");
+        let par = sharded
+            .clone()
+            .with_executor(Arc::new(ParallelShardExecutor::new(threads)));
+        let q = QueryGenerator::new(&cfg).generate(&mut SimRng::seed_from(seed));
+        prop_assert_eq!(sharded.forward_seq(&q), par.forward(&q));
     }
 
     /// Partition plans tile their table for any cut set.

@@ -1,0 +1,133 @@
+//! Offline stand-in for the subset of the `criterion` benchmark API this
+//! workspace uses: `Criterion::bench_function`, `Bencher::{iter,
+//! iter_batched}`, `BatchSize`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing is a simple calibrated wall-clock loop (warm up, pick an
+//! iteration count targeting ~60 ms of measurement, report mean ns/iter
+//! over several samples). No statistical analysis, HTML reports, or
+//! command-line filtering — numbers print to stdout. Bench sources written
+//! against this stub compile unchanged against the real `criterion`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; accepted for API compatibility and
+/// otherwise ignored by this stub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+/// Timing loop handle passed to `bench_function` closures.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+const TARGET: Duration = Duration::from_millis(60);
+const SAMPLES: u32 = 5;
+
+impl Criterion {
+    /// Measures `f` and prints `id: <mean> ns/iter`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        if b.mean_ns >= 1000.0 {
+            println!("{id:<44} {:>12.2} us/iter", b.mean_ns / 1000.0);
+        } else {
+            println!("{id:<44} {:>12.1} ns/iter", b.mean_ns);
+        }
+        self
+    }
+}
+
+/// Runs `routine` once per iteration and returns the mean time of the
+/// fastest-of-`SAMPLES` measurement windows.
+fn measure(mut routine: impl FnMut()) -> f64 {
+    // Warm up and estimate a single-iteration cost.
+    let start = Instant::now();
+    routine();
+    let once = start.elapsed().max(Duration::from_nanos(1));
+    let iters = (TARGET.as_nanos() / SAMPLES as u128 / once.as_nanos()).clamp(1, 1_000_000) as u32;
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            routine();
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per_iter);
+    }
+    best
+}
+
+impl Bencher {
+    /// Times `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.mean_ns = measure(|| {
+            black_box(routine());
+        });
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup cost is
+    /// included in this stub (inputs here are cheap to produce).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.mean_ns = measure(|| {
+            black_box(routine(setup()));
+        });
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($g:path),+ $(,)?) => {
+        fn main() {
+            $($g();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_returns() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        })
+        .bench_function("batched", |b| {
+            b.iter_batched(|| 2, |x| black_box(x * 2), BatchSize::SmallInput)
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::channel::{unbounded, Sender, Receiver}`.
+//!
+//! The real crate's lock-free channels are replaced by a
+//! `Mutex<VecDeque>` + `Condvar` MPMC queue with the same ownership and
+//! disconnection semantics: cloning either endpoint shares the channel,
+//! `recv` blocks until a message arrives or every `Sender` is dropped, and
+//! `send` fails once every `Receiver` is gone. Throughput is adequate for
+//! the coarse-grained shard tasks this workspace queues (one task per
+//! embedding-shard gather, each microseconds of work or more).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half of an unbounded MPMC channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half of an unbounded MPMC channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone; the
+    /// unsent message is handed back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message, waking one blocked receiver.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message if every [`Receiver`] has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().expect("channel poisoned");
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message is available.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the channel is empty and every
+        /// [`Sender`] has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.ready.wait(st).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive; `None` means empty-right-now or
+        /// disconnected.
+        pub fn try_recv(&self) -> Option<T> {
+            self.chan
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .pop_front()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel poisoned").receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().expect("channel poisoned");
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // Wake all receivers so they observe disconnection.
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.state.lock().expect("channel poisoned").receivers -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_one_sender() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_all_receivers_drop() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(channel::SendError(7)));
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let (tx, rx) = channel::unbounded();
+        let producer = thread::spawn(move || {
+            for i in 0..1000u64 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut sum = 0;
+        while let Ok(v) = rx.recv() {
+            sum += v;
+        }
+        producer.join().unwrap();
+        assert_eq!(sum, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn mpmc_consumes_everything_exactly_once() {
+        let (tx, rx) = channel::unbounded();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for i in 0..200u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+}

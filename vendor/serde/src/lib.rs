@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde through `#[derive(Serialize, Deserialize)]`
+//! markers on config/result types; nothing actually serializes today (no
+//! `serde_json`/`bincode` in the dependency tree). This stub provides the
+//! two trait names and no-op derive macros so the annotations keep compiling
+//! in an environment without crates.io access. Swapping the real `serde`
+//! back in is a one-line change in the workspace manifest.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
