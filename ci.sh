@@ -1,17 +1,40 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, then the tier-1 build+test pass.
+# Local CI gate. Stages run in order and the script exits nonzero at the
+# first failure; a summary table of every stage's outcome prints on exit.
 # Usage: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+STAGE_NAMES=()
+STAGE_RESULTS=()
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+summary() {
+    echo
+    echo "==== CI stage summary ===="
+    printf '%-28s %s\n' "stage" "result"
+    printf '%-28s %s\n' "-----" "------"
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '%-28s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+    done
+}
+trap summary EXIT
 
-echo "==> tier-1: cargo build --release && cargo test -q"
-cargo build --release
-cargo test -q
+run_stage() {
+    local name="$1"
+    shift
+    STAGE_NAMES+=("$name")
+    STAGE_RESULTS+=("FAIL")
+    echo "==> $name: $*"
+    "$@"
+    STAGE_RESULTS[${#STAGE_RESULTS[@]}-1]="ok"
+}
 
+run_stage "fmt" cargo fmt --check
+run_stage "clippy" cargo clippy --workspace --all-targets -- -D warnings
+run_stage "er-lint" cargo run --release -q -p er-lint -- .
+run_stage "build (tier-1)" cargo build --release
+run_stage "test (tier-1)" cargo test -q
+run_stage "test race-check" cargo test -q -p elasticrec --features race-check
+
+echo
 echo "CI OK"

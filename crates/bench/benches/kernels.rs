@@ -197,12 +197,14 @@ fn main() {
     use std::time::Instant;
 
     /// Seconds per iteration, best of three timed runs after warmup.
+    #[allow(clippy::disallowed_methods)] // benchmarks measure real elapsed time
     fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
         for _ in 0..reps.div_ceil(5).max(1) {
             black_box(f());
         }
         (0..3)
             .map(|_| {
+                // lint::allow(wall_clock): benchmarks measure real elapsed time by definition
                 let t0 = Instant::now();
                 for _ in 0..reps {
                     black_box(f());

@@ -3,6 +3,8 @@
 //!
 //! Run with `cargo run -p er-bench --bin calibrate --release`.
 
+#![forbid(unsafe_code)]
+
 use elasticrec::{plan, Calibration, Platform, ServingPlan, SteadyState, Strategy};
 use er_model::configs;
 

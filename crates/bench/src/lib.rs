@@ -2,4 +2,7 @@
 //! corresponding bench target under `benches/`, plus reporting helpers
 //! shared by those targets.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations, unreachable_pub)]
+
 pub mod report;

@@ -31,6 +31,36 @@ pub struct Observation {
     pub p95_latency_secs: Option<f64>,
 }
 
+/// Error from the fallible HPA entry points ([`HpaPolicy::try_new`],
+/// [`HpaController::try_evaluate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HpaError {
+    /// `min_replicas`/`max_replicas` do not satisfy `1 <= min <= max`.
+    InvalidBounds {
+        /// The rejected floor.
+        min_replicas: usize,
+        /// The rejected ceiling.
+        max_replicas: usize,
+    },
+    /// The deployment under evaluation has zero replicas — an HPA never
+    /// manages a deployment scaled to nothing.
+    NoReplicas,
+}
+
+impl std::fmt::Display for HpaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HpaError::InvalidBounds {
+                min_replicas,
+                max_replicas,
+            } => write!(f, "need 1 <= min ({min_replicas}) <= max ({max_replicas})"),
+            HpaError::NoReplicas => f.write_str("HPA requires at least one replica"),
+        }
+    }
+}
+
+impl std::error::Error for HpaError {}
+
 /// Autoscaling policy for one deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HpaPolicy {
@@ -75,6 +105,27 @@ impl HpaPolicy {
             max_scale_up_factor: 2.0,
             max_scale_up_pods: 4,
         }
+    }
+
+    /// Fallible [`HpaPolicy::new`] for policies built from untrusted
+    /// configuration (e.g. a parsed deployment manifest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpaError::InvalidBounds`] unless
+    /// `1 <= min_replicas <= max_replicas`.
+    pub fn try_new(
+        min_replicas: usize,
+        max_replicas: usize,
+        target: ScalingTarget,
+    ) -> Result<Self, HpaError> {
+        if min_replicas < 1 || min_replicas > max_replicas {
+            return Err(HpaError::InvalidBounds {
+                min_replicas,
+                max_replicas,
+            });
+        }
+        Ok(Self::new(min_replicas, max_replicas, target))
     }
 }
 
@@ -165,6 +216,25 @@ impl HpaController {
             self.last_scale_down = Some(now);
         }
         Some(desired)
+    }
+
+    /// Fallible [`HpaController::evaluate`] for callers that can observe a
+    /// deployment mid-teardown: `Ok(None)` means "leave it alone",
+    /// `Ok(Some(n))` means "resize to `n`".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpaError::NoReplicas`] if `current` is zero.
+    pub fn try_evaluate(
+        &mut self,
+        now: SimTime,
+        current: usize,
+        obs: Observation,
+    ) -> Result<Option<usize>, HpaError> {
+        if current == 0 {
+            return Err(HpaError::NoReplicas);
+        }
+        Ok(self.evaluate(now, current, obs))
     }
 }
 
@@ -289,5 +359,29 @@ mod tests {
     #[should_panic(expected = "min")]
     fn invalid_bounds_panic() {
         HpaPolicy::new(5, 2, ScalingTarget::QpsPerReplica(1.0));
+    }
+
+    #[test]
+    fn try_new_reports_bad_bounds() {
+        let err = HpaPolicy::try_new(5, 2, ScalingTarget::QpsPerReplica(1.0)).unwrap_err();
+        assert_eq!(
+            err,
+            HpaError::InvalidBounds {
+                min_replicas: 5,
+                max_replicas: 2
+            }
+        );
+        assert!(err.to_string().contains("1 <= min (5) <= max (2)"));
+        assert!(HpaPolicy::try_new(1, 2, ScalingTarget::QpsPerReplica(1.0)).is_ok());
+    }
+
+    #[test]
+    fn try_evaluate_errors_on_zero_replicas_and_matches_evaluate() {
+        let mut hpa = HpaController::new(qps_policy());
+        assert_eq!(
+            hpa.try_evaluate(SimTime::ZERO, 0, obs(1.0)),
+            Err(HpaError::NoReplicas)
+        );
+        assert_eq!(hpa.try_evaluate(SimTime::ZERO, 3, obs(500.0)), Ok(Some(7)));
     }
 }

@@ -36,6 +36,9 @@
 //! assert_eq!(cluster.ready_replicas("dense", SimTime::from_secs(5.0)), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations, unreachable_pub)]
+
 mod cluster;
 mod hardware;
 mod hpa;
@@ -44,6 +47,6 @@ mod resources;
 
 pub use cluster::{Cluster, NodePool, ScheduleError};
 pub use hardware::{GpuSpec, HardwareProfile};
-pub use hpa::{HpaController, HpaPolicy, Observation, ScalingTarget};
+pub use hpa::{HpaController, HpaError, HpaPolicy, Observation, ScalingTarget};
 pub use pod::{Pod, PodSpec};
 pub use resources::ResourceRequest;

@@ -9,6 +9,8 @@
 //!
 //! Run `elasticrec help` for the full reference.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use elasticrec::{

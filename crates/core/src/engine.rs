@@ -228,6 +228,7 @@ impl<'a> Engine<'a> {
             // to pods the autoscaler adds later.
             cluster
                 .create_deployment_warm(&shard.name, shard.pod.clone(), n, SimTime::ZERO)
+                // lint::allow(no_panic): startup provisioning; failing loudly before serving begins is correct
                 .unwrap_or_else(|e| panic!("initial deployment failed: {e}"));
             let target = if shard.role.is_embedding() {
                 // The paper stress-tests each shard and uses the QPS where
@@ -627,7 +628,7 @@ mod tests {
             .filter(|p| p.time > 10.0)
             .map(|p| p.value)
             .collect();
-        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        let mean = er_tensor::reduce::mean_f64(&tail);
         assert!((mean - 50.0).abs() < 12.0, "mean={mean}");
     }
 

@@ -36,6 +36,8 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct ParallelShardExecutor {
     queues: Vec<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    #[cfg(feature = "race-check")]
+    checker: Option<std::sync::Arc<crate::race::RaceChecker>>,
 }
 
 /// In-flight results of a [`ParallelShardExecutor::scatter`] call.
@@ -46,6 +48,16 @@ pub struct ParallelShardExecutor {
 pub struct Pending<T> {
     rx: Receiver<(usize, T)>,
     n: usize,
+    #[cfg(feature = "race-check")]
+    checker: Option<std::sync::Arc<crate::race::RaceChecker>>,
+}
+
+impl<T> std::fmt::Debug for Pending<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pending")
+            .field("n", &self.n)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ParallelShardExecutor {
@@ -67,11 +79,40 @@ impl ParallelShardExecutor {
                         let _ = catch_unwind(AssertUnwindSafe(job));
                     }
                 })
+                // lint::allow(no_panic): thread spawn failure at pool construction is unrecoverable
                 .expect("spawn shard worker");
             queues.push(tx);
             workers.push(handle);
         }
-        Self { queues, workers }
+        Self {
+            queues,
+            workers,
+            #[cfg(feature = "race-check")]
+            checker: None,
+        }
+    }
+
+    /// [`ParallelShardExecutor::new`] with a [`crate::race::RaceChecker`]
+    /// observing every scatter: each submit, task start/finish, and merge
+    /// is clocked, and a violated happens-before edge (mis-routed shard,
+    /// queue-order inversion, out-of-order or premature merge) panics with
+    /// the reconstructed interleaving. One scatter batch may be in flight
+    /// at a time on a race-checked pool.
+    ///
+    /// Only available with the `race-check` feature.
+    #[cfg(feature = "race-check")]
+    pub fn with_race_checking(threads: usize) -> Self {
+        let mut pool = Self::new(threads);
+        pool.checker = Some(std::sync::Arc::new(crate::race::RaceChecker::new(
+            pool.threads(),
+        )));
+        pool
+    }
+
+    /// The checker observing this pool, if race checking is on.
+    #[cfg(feature = "race-check")]
+    pub fn race_checker(&self) -> Option<&std::sync::Arc<crate::race::RaceChecker>> {
+        self.checker.as_ref()
     }
 
     /// Number of worker threads.
@@ -98,19 +139,45 @@ impl ParallelShardExecutor {
     {
         let (tx, rx) = unbounded();
         let mut n = 0;
+        #[cfg(feature = "race-check")]
+        if let Some(checker) = &self.checker {
+            checker.begin_batch();
+        }
         for (slot, (key, job)) in jobs.into_iter().enumerate() {
             let tx = tx.clone();
+            #[cfg(feature = "race-check")]
+            let checker = self.checker.clone();
+            #[cfg(feature = "race-check")]
+            let worker = key % self.queues.len();
+            #[cfg(feature = "race-check")]
+            if let Some(c) = &checker {
+                c.on_submit(slot, key, worker);
+            }
             self.submit(
                 key,
                 Box::new(move || {
+                    #[cfg(feature = "race-check")]
+                    if let Some(c) = &checker {
+                        c.on_start(slot, worker);
+                    }
+                    let value = job();
+                    #[cfg(feature = "race-check")]
+                    if let Some(c) = &checker {
+                        c.on_finish(slot, worker);
+                    }
                     // The receiver outlives the tasks unless collect()
                     // already panicked; a refused send is then harmless.
-                    let _ = tx.send((slot, job()));
+                    let _ = tx.send((slot, value));
                 }),
             );
             n += 1;
         }
-        Pending { rx, n }
+        Pending {
+            rx,
+            n,
+            #[cfg(feature = "race-check")]
+            checker: self.checker.clone(),
+        }
     }
 
     /// [`ParallelShardExecutor::scatter`] + [`Pending::collect`] in one
@@ -141,10 +208,20 @@ impl<T> Pending<T> {
             let (slot, value) = self
                 .rx
                 .recv()
+                // lint::allow(no_panic): resurfaces a worker-side panic; losing a shard result is unrecoverable
                 .unwrap_or_else(|_| panic!("shard task panicked before returning a result"));
             out[slot] = Some(value);
         }
+        // The caller consumes the Vec front to back, so the ascending walk
+        // here is the merge order the race checker certifies.
+        #[cfg(feature = "race-check")]
+        if let Some(c) = &self.checker {
+            for slot in 0..self.n {
+                c.on_merge(slot);
+            }
+        }
         out.into_iter()
+            // lint::allow(no_panic): scatter assigns each slot exactly one job; n receives fill all slots
             .map(|v| v.expect("each slot filled exactly once"))
             .collect()
     }
@@ -258,5 +335,35 @@ mod tests {
         let pool = ParallelShardExecutor::new(4);
         let _ = pool.run((0..8usize).map(|i| (i, job(move || i))));
         drop(pool); // must not hang or leak
+    }
+
+    /// A correct pool passes race checking: every routing, FIFO, and merge
+    /// edge the checker asserts actually holds, across reuse and staggered
+    /// completion orders.
+    #[cfg(feature = "race-check")]
+    #[test]
+    fn race_checked_pool_passes_clean_parallel_runs() {
+        let pool = ParallelShardExecutor::with_race_checking(4);
+        for round in 0..3usize {
+            let out = pool.run((0..16usize).map(|i| {
+                (
+                    i,
+                    job(move || {
+                        // Stagger so completion order differs from
+                        // submission order — the merge still ascends.
+                        std::thread::sleep(std::time::Duration::from_micros(
+                            ((16 - i) * 20) as u64,
+                        ));
+                        i * 3 + round
+                    }),
+                )
+            }));
+            assert_eq!(out, (0..16).map(|i| i * 3 + round).collect::<Vec<_>>());
+        }
+        let trace = pool
+            .race_checker()
+            .expect("race-checked pool carries a checker")
+            .trace();
+        assert!(trace.contains("[collector] merge  slot=15"), "{trace}");
     }
 }

@@ -34,10 +34,15 @@
 //! assert!(e.memory_bytes < m.memory_bytes); // the paper's headline result
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations, unreachable_pub)]
+
 mod calib;
 mod engine;
 mod executor;
 mod planning;
+#[cfg(feature = "race-check")]
+pub mod race;
 mod sharded;
 mod shards;
 mod sizing;
@@ -49,6 +54,8 @@ pub use executor::{ParallelShardExecutor, Pending};
 pub use planning::{
     plan, plan_elastic_fixed_shards, plan_elastic_with_plans, Platform, ServingPlan, Strategy,
 };
+#[cfg(feature = "race-check")]
+pub use race::{RaceChecker, RaceEvent, VectorClock};
 pub use sharded::ShardedDlrm;
 pub use shards::{ShardRole, ShardService, ShardSpec};
-pub use sizing::SteadyState;
+pub use sizing::{SteadyState, STEADY_UTILIZATION};

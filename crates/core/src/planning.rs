@@ -74,6 +74,7 @@ impl ServingPlan {
         self.shards
             .iter()
             .find(|s| !s.role.is_embedding())
+            // lint::allow(no_panic): plan builders always emit a frontend shard before embedding shards
             .expect("every plan has a frontend shard")
     }
 

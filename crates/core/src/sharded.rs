@@ -234,6 +234,7 @@ impl ShardedDlrm {
                     jobs.len(),
                     Box::new(move || {
                         let lookup =
+                            // lint::allow(no_panic): bucketize emits offsets starting at 0, non-decreasing, in range
                             TableLookup::new(idx, off).expect("bucketize emits valid offsets");
                         inner.shard_tables[t][s].gather_pool_fused(&lookup)
                     }),
@@ -253,7 +254,9 @@ impl ShardedDlrm {
             let dim = inner.dlrm.tables()[t].dim() as usize;
             let mut acc = Matrix::zeros(query.lookups[t].num_inputs(), dim);
             for _ in 0..plan.num_shards() {
+                // lint::allow(no_panic): scatter returned exactly one partial per (table, shard) job
                 let partial = it.next().expect("one partial per shard");
+                // lint::allow(no_panic): acc and partial are both (num_inputs x dim) by construction
                 acc = acc.add(&partial).expect("shapes match by construction");
             }
             pooled.push(acc);
@@ -283,8 +286,10 @@ impl Inner {
         for (s, table) in self.shard_tables[t].iter().enumerate() {
             let shard_lookup =
                 TableLookup::new(buckets.indices[s].clone(), buckets.offsets[s].clone())
+                    // lint::allow(no_panic): bucketize emits offsets starting at 0, non-decreasing, in range
                     .expect("bucketize emits valid offsets");
             let partial = table.gather_pool_fused(&shard_lookup);
+            // lint::allow(no_panic): pooled and partial are both (num_inputs x dim) by construction
             pooled = pooled.add(&partial).expect("shapes match by construction");
         }
         pooled
@@ -363,6 +368,28 @@ mod tests {
         for threads in [1, 2, 3, 8] {
             let exec = ParallelShardExecutor::new(threads);
             for _ in 0..3 {
+                let q = gen.generate(&mut rng);
+                assert_eq!(
+                    sharded.forward_seq(&q),
+                    sharded.forward_with(&q, &exec),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    /// The full sharded forward pass under the vector-clock checker: every
+    /// happens-before edge of the scatter → gather → ascending-merge data
+    /// plane holds on real queries, and results stay bit-identical.
+    #[cfg(feature = "race-check")]
+    #[test]
+    fn race_checked_forward_is_clean_and_bit_identical() {
+        let (cfg, _, sharded) = setup(300, 3, vec![30, 120, 300]);
+        let gen = QueryGenerator::new(&cfg);
+        let mut rng = SimRng::seed_from(29);
+        for threads in [1, 2, 4] {
+            let exec = ParallelShardExecutor::with_race_checking(threads);
+            for _ in 0..2 {
                 let q = gen.generate(&mut rng);
                 assert_eq!(
                     sharded.forward_seq(&q),

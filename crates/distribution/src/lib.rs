@@ -24,6 +24,9 @@
 //! assert!((zipf.cdf(100_000) - 0.90).abs() < 0.01);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations, unreachable_pub)]
+
 pub mod datasets;
 mod drift;
 mod empirical;

@@ -1,0 +1,455 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The workspace builds offline, so `er-lint` cannot lean on `syn` or
+//! `proc-macro2`; instead this module tokenizes Rust source directly. The
+//! rules in [`crate::rules`] operate on token *shapes* (identifier / path /
+//! punctuation sequences), so the lexer only needs to be faithful about the
+//! things that can hide or fake a match: comments, string and character
+//! literals (including raw strings), lifetimes, and the `::` path
+//! separator. It does not parse; it never fails — unknown bytes become
+//! single-character punctuation tokens.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers like `r#match`).
+    Ident,
+    /// A lifetime such as `'static` (the quote is part of the token).
+    Lifetime,
+    /// An integer or float literal, suffix included.
+    Number,
+    /// A string, byte-string, raw-string, C-string, or char literal.
+    Literal,
+    /// A line (`//`) or block (`/* */`) comment, doc or not.
+    Comment {
+        /// `true` for `/* */`, `false` for `//`.
+        block: bool,
+    },
+    /// The `::` path separator.
+    PathSep,
+    /// Any other single character.
+    Punct(char),
+}
+
+/// One lexed token with its position in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte length of the token.
+    pub len: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.start + self.len]
+    }
+}
+
+/// Tokenizes `src`. Comments are kept (rules need them for allow markers);
+/// whitespace is dropped.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        loop {
+            while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+                self.bump();
+            }
+            let Some(b) = self.peek() else { break };
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let kind = self.next_kind(b);
+            out.push(Token {
+                kind,
+                start,
+                len: self.pos - start,
+                line,
+                col,
+            });
+        }
+        out
+    }
+
+    fn next_kind(&mut self, b: u8) -> TokenKind {
+        match b {
+            b'/' if self.peek_at(1) == Some(b'/') => self.line_comment(),
+            b'/' if self.peek_at(1) == Some(b'*') => self.block_comment(),
+            b'"' => self.string(true),
+            b'\'' => self.char_or_lifetime(),
+            b'0'..=b'9' => self.number(),
+            b':' if self.peek_at(1) == Some(b':') => {
+                self.bump();
+                self.bump();
+                TokenKind::PathSep
+            }
+            _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+            _ => {
+                self.bump();
+                TokenKind::Punct(b as char)
+            }
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::Comment { block: false }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // `/*` nests in Rust.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: tolerate
+            }
+        }
+        TokenKind::Comment { block: true }
+    }
+
+    /// A `"`-delimited literal. `escapes` is false for raw strings.
+    fn string(&mut self, escapes: bool) -> TokenKind {
+        self.bump(); // opening quote
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' if escapes => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        TokenKind::Literal
+    }
+
+    /// A raw string already positioned at its `#` run or opening quote:
+    /// consumes `#* " ... " #*` with matching hash counts.
+    fn raw_string(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek() == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek() == Some(b'#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        return TokenKind::Literal;
+                    }
+                }
+                Some(_) => {}
+                None => return TokenKind::Literal, // unterminated: tolerate
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // the quote
+        match self.peek() {
+            Some(b'\\') => {
+                // Escaped char literal: '\n', '\'', '\u{..}'.
+                self.bump();
+                self.bump();
+                while let Some(b) = self.peek() {
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                TokenKind::Literal
+            }
+            Some(b) if is_ident_start(b) => {
+                // 'a' is a char literal; 'a (no closing quote) a lifetime.
+                while matches!(self.peek(), Some(c) if is_ident_continue(c)) {
+                    self.bump();
+                }
+                if self.peek() == Some(b'\'') {
+                    self.bump();
+                    TokenKind::Literal
+                } else {
+                    TokenKind::Lifetime
+                }
+            }
+            _ => {
+                // '1', '.', ' ', or a multi-byte char: scan to closing quote.
+                while let Some(b) = self.bump() {
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                TokenKind::Literal
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let mut prev = 0u8;
+        while let Some(b) = self.peek() {
+            let take = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && matches!(self.peek_at(1), Some(d) if d.is_ascii_digit()))
+                || ((b == b'+' || b == b'-') && (prev == b'e' || prev == b'E'));
+            if !take {
+                break;
+            }
+            prev = b;
+            self.bump();
+        }
+        TokenKind::Number
+    }
+
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if is_ident_continue(b)) {
+            self.bump();
+        }
+        let ident = &self.src[start..self.pos];
+        let is_literal_prefix = matches!(ident, b"r" | b"b" | b"br" | b"rb" | b"c" | b"cr");
+        if is_literal_prefix {
+            let raw = ident != b"b" && ident != b"c";
+            match self.peek() {
+                Some(b'"') => return self.string(!raw),
+                Some(b'#') if raw => {
+                    // `r#"..."#` is a raw string; `r#ident` a raw identifier.
+                    if ident == b"r" && matches!(self.peek_at(1), Some(c) if is_ident_start(c)) {
+                        self.bump(); // '#'
+                        while matches!(self.peek(), Some(c) if is_ident_continue(c)) {
+                            self.bump();
+                        }
+                        return TokenKind::Ident;
+                    }
+                    return self.raw_string();
+                }
+                _ => {}
+            }
+        }
+        if ident == b"b" && self.peek() == Some(b'\'') {
+            return self.char_or_lifetime();
+        }
+        TokenKind::Ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn idents_paths_and_calls() {
+        assert_eq!(
+            texts("Instant::now()"),
+            vec!["Instant", "::", "now", "(", ")"]
+        );
+        assert_eq!(
+            kinds("Instant::now()"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::PathSep,
+                TokenKind::Ident,
+                TokenKind::Punct('('),
+                TokenKind::Punct(')'),
+            ]
+        );
+    }
+
+    #[test]
+    fn single_colon_is_not_a_path_sep() {
+        assert_eq!(
+            kinds("x: u32"),
+            vec![TokenKind::Ident, TokenKind::Punct(':'), TokenKind::Ident]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = tokenize(r#"let s = "Instant::now()";"#);
+        assert!(toks
+            .iter()
+            .all(|t| t.kind != TokenKind::Ident
+                || t.text(r#"let s = "Instant::now()";"#) != "Instant"));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        let src = r#""a \" b" x"#;
+        let toks = tokenize(src);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokenKind::Literal);
+        assert_eq!(toks[1].text(src), "x");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"r#"has "quotes" and # inside"# tail"###;
+        let toks = tokenize(src);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokenKind::Literal);
+        assert_eq!(toks[1].text(src), "tail");
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert_eq!(kinds(r#"b"x""#), vec![TokenKind::Literal]);
+        assert_eq!(kinds(r##"br#"x"#"##), vec![TokenKind::Literal]);
+        assert_eq!(kinds(r#"c"x""#), vec![TokenKind::Literal]);
+        assert_eq!(kinds("b'x'"), vec![TokenKind::Literal]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let src = "r#match + rb";
+        let toks = tokenize(src);
+        assert_eq!(toks[0].kind, TokenKind::Ident);
+        assert_eq!(toks[0].text(src), "r#match");
+        assert_eq!(toks[2].text(src), "rb");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "&'a str, 'x', '\\n'";
+        let toks = tokenize(src);
+        assert_eq!(toks[1].kind, TokenKind::Lifetime);
+        assert_eq!(toks[1].text(src), "'a");
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(lits.len(), 2);
+    }
+
+    #[test]
+    fn line_and_block_comments_are_tokens() {
+        let src = "a // Instant::now()\n/* nested /* block */ still */ b";
+        let toks = tokenize(src);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(idents, vec!["a", "b"]);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t.kind, TokenKind::Comment { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn numbers_including_float_exponents() {
+        assert_eq!(
+            kinds("1_000 0xff 1.5e-3 2.0f32"),
+            vec![TokenKind::Number; 4]
+        );
+        // `1..n` must not eat the range operator.
+        assert_eq!(texts("1..n"), vec!["1", ".", ".", "n"]);
+        // Method calls on integers keep the dot separate.
+        assert_eq!(texts("1.max(2)"), vec!["1", ".", "max", "(", "2", ")"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let src = "a\n  bb";
+        let toks = tokenize(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang() {
+        let _ = tokenize("\"unterminated");
+        let _ = tokenize("/* unterminated");
+        let _ = tokenize("r#\"unterminated");
+        let _ = tokenize("'u");
+    }
+}

@@ -1,0 +1,45 @@
+//! `er-lint` — dependency-free static analysis for the ElasticRec
+//! workspace.
+//!
+//! The simulator's headline guarantees are *determinism invariants*: the
+//! parallel shard executor is bit-identical to the sequential walk, the
+//! discrete-event simulation replays exactly per seed, and float
+//! reductions happen in one documented order. Property tests exercise
+//! those guarantees; this crate enforces the coding rules they rest on, so
+//! a violation is caught at lint time rather than as a flaky repro:
+//!
+//! | rule | scope | catches |
+//! |------|-------|---------|
+//! | `wall_clock` | deterministic paths + `er-bench` | `Instant::now` / `SystemTime::now` |
+//! | `ambient_rng` | deterministic paths | `thread_rng`, `from_entropy`, `rand::random` |
+//! | `env_io` | deterministic paths | `env::var` and friends |
+//! | `hashmap_iter` | deterministic paths | iteration over `HashMap`/`HashSet` bindings |
+//! | `no_panic` | serving hot path | `unwrap` / `expect` / `panic!` in non-test library code |
+//! | `float_reduction` | serving minus blessed kernels | ad-hoc `sum::<f32>` / `product::<f32>` |
+//!
+//! Scopes are path prefixes configured in `er-lint.toml` (see
+//! [`Config`]); intentional exceptions carry a
+//! `// lint::allow(rule): reason` marker. The repo is offline, so the
+//! lexer is hand-rolled ([`lexer`]) — no `syn`, no dependencies at all.
+//!
+//! # Examples
+//!
+//! ```
+//! use er_lint::{check_file, Config, FileContext};
+//!
+//! let src = "fn now_ms() -> u128 { Instant::now().elapsed().as_millis() }";
+//! let ctx = FileContext::new("crates/sim/src/time.rs", src);
+//! let diags = check_file(&ctx, &Config::default());
+//! assert_eq!(diags[0].rule, "wall_clock");
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations, unreachable_pub, missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use config::Config;
+pub use rules::{check_file, Diagnostic, FileContext};

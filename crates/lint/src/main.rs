@@ -1,0 +1,73 @@
+//! The `er-lint` binary: lint the workspace, print diagnostics, exit
+//! nonzero on any violation.
+//!
+//! ```text
+//! er-lint [ROOT]   # ROOT defaults to the current directory
+//! ```
+//!
+//! Reads `ROOT/er-lint.toml` when present (see [`er_lint::Config`]); every
+//! diagnostic prints as `path:line:col: [rule] message`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use er_lint::{check_file, walk, Config, FileContext};
+
+fn main() -> ExitCode {
+    let root = PathBuf::from(std::env::args().nth(1).unwrap_or_else(|| ".".into()));
+    let cfg = match load_config(&root) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("er-lint: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let files = match walk::rust_files(&root, &cfg) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("er-lint: walking {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut violations = 0usize;
+    let mut files_with = 0usize;
+    for path in &files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            // Non-UTF-8 or unreadable: nothing for a Rust lexer to do.
+            continue;
+        };
+        let rel = walk::relative(&root, path);
+        let ctx = FileContext::new(rel, &src);
+        let diags = check_file(&ctx, &cfg);
+        if !diags.is_empty() {
+            files_with += 1;
+            violations += diags.len();
+            for d in &diags {
+                println!("{d}");
+            }
+        }
+    }
+
+    if violations > 0 {
+        eprintln!(
+            "er-lint: FAIL — {violations} violation(s) in {files_with} file(s) ({} scanned)",
+            files.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!("er-lint: OK — {} files scanned, 0 violations", files.len());
+        ExitCode::SUCCESS
+    }
+}
+
+fn load_config(root: &std::path::Path) -> Result<Config, String> {
+    let path = root.join("er-lint.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Config::from_toml_str(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("reading {}: {e}", path.display())),
+    }
+}

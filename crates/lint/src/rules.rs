@@ -1,0 +1,672 @@
+//! The rule engine: determinism and hot-path hygiene checks over the
+//! token stream.
+//!
+//! Rules are shape matchers over [`crate::lexer`] tokens, scoped by path
+//! class (see [`Config`]) and aware of two escape hatches:
+//!
+//! * `#[cfg(test)]` items (and whole files under `tests/`, `benches/`,
+//!   `examples/`, or `bin/`) are exempt from hot-path rules;
+//! * a comment containing `lint::allow(rule_name): reason` suppresses
+//!   `rule_name` on its own line and the line directly below — the
+//!   documented way to bless an intentional exception.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// One rule violation, pointing at the first token of the match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the match.
+    pub line: u32,
+    /// 1-based column of the match.
+    pub col: u32,
+    /// Stable rule name (what `lint::allow(..)` takes).
+    pub rule: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A lexed file plus everything the rules need to scope their matches.
+#[derive(Debug)]
+pub struct FileContext<'a> {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// The file's source text.
+    pub src: &'a str,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices (into `tokens`) of non-comment tokens, in order.
+    code: Vec<usize>,
+    /// `in_test[i]` is true when `tokens[i]` sits inside a `#[cfg(test)]`
+    /// item.
+    in_test: Vec<bool>,
+    /// Line -> rule names suppressed on that line by allow markers.
+    allows: BTreeMap<u32, BTreeSet<String>>,
+}
+
+impl<'a> FileContext<'a> {
+    /// Lexes `src` and precomputes test regions and allow markers.
+    pub fn new(path: impl Into<String>, src: &'a str) -> Self {
+        let tokens = tokenize(src);
+        let code = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::Comment { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let in_test = test_regions(&tokens, src);
+        let allows = allow_markers(&tokens, src);
+        Self {
+            path: path.into(),
+            src,
+            tokens,
+            code,
+            in_test,
+            allows,
+        }
+    }
+
+    fn text(&self, code_idx: usize) -> &str {
+        self.tokens[self.code[code_idx]].text(self.src)
+    }
+
+    fn kind(&self, code_idx: usize) -> TokenKind {
+        self.tokens[self.code[code_idx]].kind
+    }
+
+    fn tok(&self, code_idx: usize) -> &Token {
+        &self.tokens[self.code[code_idx]]
+    }
+
+    fn is_test_token(&self, code_idx: usize) -> bool {
+        self.in_test[self.code[code_idx]]
+    }
+
+    fn is_ident(&self, code_idx: usize, name: &str) -> bool {
+        self.kind(code_idx) == TokenKind::Ident && self.text(code_idx) == name
+    }
+
+    fn suppressed(&self, line: u32, rule: &str) -> bool {
+        self.allows
+            .get(&line)
+            .is_some_and(|set| set.contains(rule) || set.contains("all"))
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)]` item (attribute through the
+/// item's closing brace or semicolon).
+fn test_regions(tokens: &[Token], src: &str) -> Vec<bool> {
+    let mut marked = vec![false; tokens.len()];
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokenKind::Comment { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let is = |ci: usize, k: TokenKind| code.get(ci).is_some_and(|&i| tokens[i].kind == k);
+    let mut ci = 0;
+    while ci < code.len() {
+        if is(ci, TokenKind::Punct('#')) && is(ci + 1, TokenKind::Punct('[')) {
+            // Find the attribute's closing bracket and whether it is a
+            // cfg(..test..) attribute.
+            let mut depth = 0usize;
+            let mut j = ci + 1;
+            let mut mentions_cfg = false;
+            let mut mentions_test = false;
+            while j < code.len() {
+                match tokens[code[j]].kind {
+                    TokenKind::Punct('[') => depth += 1,
+                    TokenKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenKind::Ident => {
+                        let t = tokens[code[j]].text(src);
+                        mentions_cfg |= t == "cfg";
+                        mentions_test |= t == "test";
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if mentions_cfg && mentions_test && j < code.len() {
+                // Skip any further attributes on the same item, then mark
+                // the item body: through the matching `}` of its first
+                // top-level `{`, or through a terminating `;`.
+                let mut k = j + 1;
+                while is(k, TokenKind::Punct('#')) && is(k + 1, TokenKind::Punct('[')) {
+                    let mut d = 0usize;
+                    while k < code.len() {
+                        match tokens[code[k]].kind {
+                            TokenKind::Punct('[') => d += 1,
+                            TokenKind::Punct(']') => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                let body_start = k;
+                let mut brace = 0usize;
+                let mut paren = 0usize;
+                let mut end = code.len().saturating_sub(1);
+                while k < code.len() {
+                    match tokens[code[k]].kind {
+                        TokenKind::Punct('(') => paren += 1,
+                        TokenKind::Punct(')') => paren = paren.saturating_sub(1),
+                        TokenKind::Punct('{') => brace += 1,
+                        TokenKind::Punct('}') => {
+                            brace = brace.saturating_sub(1);
+                            if brace == 0 {
+                                end = k;
+                                break;
+                            }
+                        }
+                        TokenKind::Punct(';') if brace == 0 && paren == 0 => {
+                            end = k;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                // Mark raw token range (comments inside included).
+                for slot in marked
+                    .iter_mut()
+                    .take(code[end.min(code.len() - 1)] + 1)
+                    .skip(code[ci])
+                {
+                    *slot = true;
+                }
+                ci = end + 1;
+                let _ = body_start;
+                continue;
+            }
+        }
+        ci += 1;
+    }
+    marked
+}
+
+/// Collects `lint::allow(rule, ...)` markers from comments. A marker
+/// covers its own line and the next line, so it can sit inline or on the
+/// line above the exception it blesses.
+fn allow_markers(tokens: &[Token], src: &str) -> BTreeMap<u32, BTreeSet<String>> {
+    let mut map: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for t in tokens {
+        if !matches!(t.kind, TokenKind::Comment { .. }) {
+            continue;
+        }
+        let text = t.text(src);
+        let mut rest = text;
+        while let Some(at) = rest.find("lint::allow(") {
+            let args = &rest[at + "lint::allow(".len()..];
+            let Some(close) = args.find(')') else { break };
+            for rule in args[..close].split(',') {
+                let rule = rule.trim().to_string();
+                if !rule.is_empty() {
+                    map.entry(t.line).or_default().insert(rule.clone());
+                    map.entry(t.line + 1).or_default().insert(rule);
+                }
+            }
+            rest = &args[close..];
+        }
+    }
+    map
+}
+
+/// True for file classes exempt from hot-path rules: test, bench, example,
+/// and CLI-binary code.
+pub fn is_test_or_tool_path(path: &str) -> bool {
+    let p = format!("/{path}");
+    ["/tests/", "/benches/", "/examples/", "/bin/", "/fixtures/"]
+        .iter()
+        .any(|seg| p.contains(seg))
+}
+
+/// Runs every applicable rule over one file.
+pub fn check_file(ctx: &FileContext<'_>, cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let det = Config::in_paths(&ctx.path, &cfg.deterministic);
+    let serving = Config::in_paths(&ctx.path, &cfg.serving);
+    let blessed = Config::in_paths(&ctx.path, &cfg.blessed_kernels);
+    let tool = is_test_or_tool_path(&ctx.path);
+
+    if det || Config::in_paths(&ctx.path, &cfg.wall_clock_extra) {
+        wall_clock(ctx, &mut out);
+    }
+    if det && !tool {
+        ambient_rng(ctx, &mut out);
+        env_io(ctx, &mut out);
+        hashmap_iter(ctx, &mut out);
+    }
+    if serving && !tool {
+        no_panic(ctx, &mut out);
+        if !blessed {
+            float_reduction(ctx, &mut out);
+        }
+    }
+    out.retain(|d| !ctx.suppressed(d.line, d.rule));
+    out
+}
+
+fn push(
+    out: &mut Vec<Diagnostic>,
+    ctx: &FileContext<'_>,
+    ci: usize,
+    rule: &'static str,
+    msg: String,
+) {
+    let t = ctx.tok(ci);
+    out.push(Diagnostic {
+        path: ctx.path.clone(),
+        line: t.line,
+        col: t.col,
+        rule,
+        message: msg,
+    });
+}
+
+/// `wall_clock`: `Instant::now` / `SystemTime::now` in deterministic
+/// paths. Simulated components must take time from `er_sim::SimTime`.
+fn wall_clock(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    for ci in 0..ctx.code.len().saturating_sub(2) {
+        let head = ctx.text(ci);
+        if ctx.kind(ci) == TokenKind::Ident
+            && (head == "Instant" || head == "SystemTime")
+            && ctx.kind(ci + 1) == TokenKind::PathSep
+            && ctx.is_ident(ci + 2, "now")
+        {
+            push(
+                out,
+                ctx,
+                ci,
+                "wall_clock",
+                format!("`{head}::now()` reads the wall clock; deterministic paths must take time from `er_sim::SimTime`"),
+            );
+        }
+    }
+}
+
+/// `ambient_rng`: ambient (unseeded) randomness in deterministic paths.
+fn ambient_rng(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    for ci in 0..ctx.code.len() {
+        if ctx.is_test_token(ci) || ctx.kind(ci) != TokenKind::Ident {
+            continue;
+        }
+        let t = ctx.text(ci);
+        let hit = t == "thread_rng"
+            || t == "from_entropy"
+            || (t == "random"
+                && ci >= 2
+                && ctx.kind(ci - 1) == TokenKind::PathSep
+                && ctx.is_ident(ci - 2, "rand"));
+        if hit {
+            push(
+                out,
+                ctx,
+                ci,
+                "ambient_rng",
+                format!("`{t}` draws entropy from the environment; deterministic paths must use a seeded `er_sim::SimRng`"),
+            );
+        }
+    }
+}
+
+/// `env_io`: process-environment reads in deterministic paths.
+fn env_io(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    const CALLS: [&str; 7] = [
+        "var", "var_os", "vars", "vars_os", "args", "args_os", "temp_dir",
+    ];
+    for ci in 0..ctx.code.len().saturating_sub(2) {
+        if ctx.is_test_token(ci) {
+            continue;
+        }
+        if ctx.is_ident(ci, "env")
+            && ctx.kind(ci + 1) == TokenKind::PathSep
+            && ctx.kind(ci + 2) == TokenKind::Ident
+            && CALLS.contains(&ctx.text(ci + 2))
+        {
+            push(
+                out,
+                ctx,
+                ci,
+                "env_io",
+                format!(
+                    "`env::{}` makes behaviour depend on the process environment; thread configuration through explicit parameters",
+                    ctx.text(ci + 2)
+                ),
+            );
+        }
+    }
+}
+
+/// `hashmap_iter`: iteration over `HashMap`/`HashSet` bindings in
+/// deterministic paths — iteration order varies run to run; use
+/// `BTreeMap`/`BTreeSet` or sort keys first.
+fn hashmap_iter(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    const ITERS: [&str; 9] = [
+        "iter",
+        "iter_mut",
+        "keys",
+        "values",
+        "values_mut",
+        "into_iter",
+        "drain",
+        "retain",
+        "extend",
+    ];
+    // Pass 1: names declared with a HashMap/HashSet type or initializer.
+    let mut tracked: BTreeSet<String> = BTreeSet::new();
+    for ci in 0..ctx.code.len() {
+        let t = ctx.text(ci);
+        if ctx.kind(ci) != TokenKind::Ident || (t != "HashMap" && t != "HashSet") {
+            continue;
+        }
+        // Walk back over a path prefix (`std::collections::`).
+        let mut head = ci;
+        while head >= 2
+            && ctx.kind(head - 1) == TokenKind::PathSep
+            && ctx.kind(head - 2) == TokenKind::Ident
+        {
+            head -= 2;
+        }
+        if head == 0 {
+            continue;
+        }
+        match ctx.kind(head - 1) {
+            // `name: HashMap<..>` (field or let with type annotation).
+            TokenKind::Punct(':') if head >= 2 && ctx.kind(head - 2) == TokenKind::Ident => {
+                tracked.insert(ctx.text(head - 2).to_string());
+            }
+            // `let [mut] name = HashMap::new()`.
+            TokenKind::Punct('=') if head >= 2 && ctx.kind(head - 2) == TokenKind::Ident => {
+                tracked.insert(ctx.text(head - 2).to_string());
+            }
+            _ => {}
+        }
+    }
+    if tracked.is_empty() {
+        return;
+    }
+    // Pass 2: iteration over a tracked name.
+    for ci in 0..ctx.code.len() {
+        if ctx.is_test_token(ci) || ctx.kind(ci) != TokenKind::Ident {
+            continue;
+        }
+        let name = ctx.text(ci);
+        if !tracked.contains(name) {
+            continue;
+        }
+        // `name.iter()` and friends.
+        if ci + 2 < ctx.code.len()
+            && ctx.kind(ci + 1) == TokenKind::Punct('.')
+            && ctx.kind(ci + 2) == TokenKind::Ident
+            && ITERS.contains(&ctx.text(ci + 2))
+        {
+            push(
+                out,
+                ctx,
+                ci,
+                "hashmap_iter",
+                format!(
+                    "iterating `{name}` (a HashMap/HashSet) via `.{}()` is order-nondeterministic; use BTreeMap/BTreeSet or walk sorted keys",
+                    ctx.text(ci + 2)
+                ),
+            );
+            continue;
+        }
+        // `for x in [&[mut]] [self.]name` — the name must end the loop
+        // header expression (next token opens the body or punctuates).
+        let mut j = ci;
+        while j >= 1 {
+            match ctx.kind(j - 1) {
+                TokenKind::Punct('&') | TokenKind::Punct('.') => j -= 1,
+                TokenKind::Ident if ctx.text(j - 1) == "mut" || ctx.text(j - 1) == "self" => j -= 1,
+                _ => break,
+            }
+        }
+        if j >= 1
+            && ctx.is_ident(j - 1, "in")
+            && ci + 1 < ctx.code.len()
+            && ctx.kind(ci + 1) == TokenKind::Punct('{')
+        {
+            push(
+                out,
+                ctx,
+                ci,
+                "hashmap_iter",
+                format!("`for .. in {name}` iterates a HashMap/HashSet in nondeterministic order; use BTreeMap/BTreeSet or walk sorted keys"),
+            );
+        }
+    }
+}
+
+/// `no_panic`: `unwrap`/`expect`/`panic!` in non-test serving-path code.
+/// Hot-path errors must be typed (`Result`) or documented invariants with
+/// an allow marker stating the reason.
+fn no_panic(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    for ci in 0..ctx.code.len() {
+        if ctx.is_test_token(ci) || ctx.kind(ci) != TokenKind::Ident {
+            continue;
+        }
+        let t = ctx.text(ci);
+        // `.unwrap()` / `.expect(..)`: require the dot so `unwrap_or`,
+        // `my_unwrap`, and definitions don't match.
+        if (t == "unwrap" || t == "expect")
+            && ci >= 1
+            && ctx.kind(ci - 1) == TokenKind::Punct('.')
+            && ci + 1 < ctx.code.len()
+            && ctx.kind(ci + 1) == TokenKind::Punct('(')
+        {
+            push(
+                out,
+                ctx,
+                ci,
+                "no_panic",
+                format!("`.{t}()` can panic in the serving hot path; return a typed error, or add `// lint::allow(no_panic): <invariant>`"),
+            );
+        }
+        if (t == "panic" || t == "todo" || t == "unimplemented")
+            && ci + 1 < ctx.code.len()
+            && ctx.kind(ci + 1) == TokenKind::Punct('!')
+        {
+            push(
+                out,
+                ctx,
+                ci,
+                "no_panic",
+                format!("`{t}!` aborts the serving hot path; return a typed error, or add `// lint::allow(no_panic): <invariant>`"),
+            );
+        }
+    }
+}
+
+/// `float_reduction`: explicit `sum::<f32>` / `product::<f32>` outside the
+/// blessed kernel modules. Reduction order decides the bits; go through
+/// the oracle-ordered helpers in `er_tensor::reduce`.
+fn float_reduction(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    for ci in 0..ctx.code.len().saturating_sub(3) {
+        if ctx.is_test_token(ci) || ctx.kind(ci) != TokenKind::Ident {
+            continue;
+        }
+        let t = ctx.text(ci);
+        if (t == "sum" || t == "product")
+            && ctx.kind(ci + 1) == TokenKind::PathSep
+            && ctx.kind(ci + 2) == TokenKind::Punct('<')
+            && ctx.is_ident(ci + 3, "f32")
+        {
+            push(
+                out,
+                ctx,
+                ci,
+                "float_reduction",
+                format!("`{t}::<f32>` fixes a reduction order ad hoc; route float reductions through the oracle-ordered helpers in `er_tensor::reduce`"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ctx = FileContext::new(path, src);
+        check_file(&ctx, &Config::default())
+    }
+
+    #[test]
+    fn wall_clock_fires_in_sim_paths_with_position() {
+        let d = check(
+            "crates/sim/src/time.rs",
+            "fn t() -> f64 {\n    let t0 = Instant::now();\n    0.0\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "wall_clock");
+        assert_eq!((d[0].line, d[0].col), (2, 14));
+        assert!(d[0].to_string().contains("crates/sim/src/time.rs:2:14"));
+    }
+
+    #[test]
+    fn wall_clock_ignores_other_crates_and_comments() {
+        assert!(check("crates/metrics/src/qps.rs", "let t = Instant::now();").is_empty());
+        assert!(check(
+            "crates/sim/src/time.rs",
+            "// Instant::now() would be wrong here\nlet x = 1;"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_on_its_line_and_the_next() {
+        let src = "\
+// lint::allow(wall_clock): plain fallback timer, not simulated time
+let t0 = Instant::now();
+let t1 = Instant::now();
+";
+        let d = check("crates/sim/src/time.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn no_panic_fires_on_unwrap_expect_panic_only() {
+        let src = "\
+pub fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect(\"msg\");
+    let c = x.unwrap_or(0);
+    if a + b + c == 0 { panic!(\"boom\"); }
+    a
+}
+";
+        let d = check("crates/rpc/src/balancer.rs", src);
+        let rules: Vec<_> = d.iter().map(|x| (x.rule, x.line)).collect();
+        assert_eq!(
+            rules,
+            vec![("no_panic", 2), ("no_panic", 3), ("no_panic", 5)]
+        );
+    }
+
+    #[test]
+    fn no_panic_skips_cfg_test_modules() {
+        let src = "\
+pub fn ok() -> u32 { 1 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x: Option<u32> = None;
+        x.unwrap();
+        panic!(\"fine in tests\");
+    }
+}
+";
+        assert!(check("crates/core/src/sharded.rs", src).is_empty());
+    }
+
+    #[test]
+    fn no_panic_skips_test_bench_example_and_bin_files() {
+        let src = "fn main() { None::<u32>.unwrap(); }";
+        assert!(check("crates/core/src/bin/elasticrec.rs", src).is_empty());
+        assert!(check("crates/core/tests/it.rs", src).is_empty());
+        assert!(check("crates/model/benches/b.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_iteration_is_flagged_lookups_are_not() {
+        let src = "\
+use std::collections::HashMap;
+struct S { pod_free: HashMap<u64, f64> }
+impl S {
+    fn ok(&self) -> Option<&f64> { self.pod_free.get(&1) }
+    fn bad(&self) -> usize { self.pod_free.iter().count() }
+    fn bad2(&self) { for kv in &self.pod_free { let _ = kv; } }
+}
+";
+        let d = check("crates/core/src/engine.rs", src);
+        let lines: Vec<_> = d.iter().map(|x| x.line).collect();
+        assert_eq!(lines, vec![5, 6], "{d:?}");
+        assert!(d.iter().all(|x| x.rule == "hashmap_iter"));
+    }
+
+    #[test]
+    fn ambient_rng_and_env_io_fire_in_deterministic_paths() {
+        let src = "fn f() { let r = thread_rng(); let v = std::env::var(\"X\"); let _ = (r, v); }";
+        let d = check("crates/partition/src/dp.rs", src);
+        let rules: Vec<_> = d.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["ambient_rng", "env_io"]);
+    }
+
+    #[test]
+    fn float_reduction_fires_outside_blessed_kernels_only() {
+        let src = "fn f(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() }";
+        assert_eq!(check("crates/model/src/interaction.rs", src).len(), 1);
+        assert!(check("crates/tensor/src/matrix.rs", src).is_empty());
+        // `sum::<f64>` and untyped `.sum()` are out of scope for this rule.
+        let f64_src = "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }";
+        assert!(check("crates/model/src/interaction.rs", f64_src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_raw_strings_never_match_rules() {
+        let src = r##"pub fn f() -> &'static str { r#"Instant::now() .unwrap() panic!"# }"##;
+        assert!(check("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_fn_item_is_exempt_not_the_rest_of_the_file() {
+        let src = "\
+#[cfg(test)]
+fn helper(x: Option<u32>) -> u32 { x.unwrap() }
+
+pub fn hot(x: Option<u32>) -> u32 { x.unwrap() }
+";
+        let d = check("crates/core/src/planning.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 4);
+    }
+}

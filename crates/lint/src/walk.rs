@@ -1,0 +1,75 @@
+//! Workspace traversal: find every `.rs` file the lint should see.
+
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+
+/// Collects workspace-relative paths of all `.rs` files under `root`,
+/// skipping the configured prefixes (vendored stubs, build output, lint
+/// fixtures). Results are sorted so diagnostics are stable run to run.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while reading a directory.
+pub fn rust_files(root: &Path, cfg: &Config) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let rel = relative(root, &path);
+            if cfg
+                .skip
+                .iter()
+                .any(|s| Config::in_paths(&rel, std::slice::from_ref(s)))
+                || rel.starts_with('.')
+            {
+                continue;
+            }
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `path` relative to `root`, with forward slashes — the form every rule
+/// scope and skip list uses.
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_uses_forward_slashes() {
+        let root = Path::new("/a/b");
+        assert_eq!(relative(root, Path::new("/a/b/c/d.rs")), "c/d.rs");
+    }
+
+    #[test]
+    fn skip_list_prunes_by_prefix() {
+        let cfg = Config::default();
+        // `vendor` is skipped by default; anything under it never appears.
+        assert!(cfg.skip.iter().any(|s| s == "vendor"));
+    }
+}

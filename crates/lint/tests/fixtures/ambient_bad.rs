@@ -1,0 +1,13 @@
+//! Fixture: ambient randomness and environment reads in deterministic code.
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng(); // violation: ambient_rng
+    rng.next()
+}
+
+pub fn tuned_threads() -> usize {
+    std::env::var("ER_THREADS") // violation: env_io
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

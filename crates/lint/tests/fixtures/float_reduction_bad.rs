@@ -1,0 +1,13 @@
+//! Fixture: ad-hoc f32 reductions outside the blessed kernel modules.
+
+pub fn pool(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>() // violation: float_reduction
+}
+
+pub fn scaled(xs: &[f32]) -> f32 {
+    xs.iter().copied().product::<f32>() // violation: float_reduction
+}
+
+pub fn integer_sums_are_fine(xs: &[u64]) -> u64 {
+    xs.iter().sum::<u64>()
+}

@@ -1,0 +1,31 @@
+//! Fixture: nondeterministic HashMap/HashSet iteration.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Tracker {
+    in_flight: HashMap<u64, f64>,
+    seen: HashSet<u64>,
+}
+
+impl Tracker {
+    pub fn total(&self) -> f64 {
+        self.in_flight.values().copied().fold(0.0, |a, b| a + b) // violation: hashmap_iter
+    }
+
+    pub fn drain_all(&mut self) {
+        for id in &self.seen {
+            // violation: hashmap_iter (loop header, previous line)
+            let _ = id;
+        }
+    }
+
+    pub fn lookup_is_fine(&self, id: u64) -> Option<f64> {
+        self.in_flight.get(&id).copied()
+    }
+}
+
+pub fn local_binding() -> usize {
+    let mut counts = HashMap::new();
+    counts.insert(1u32, 2u32);
+    counts.iter().count() // violation: hashmap_iter
+}

@@ -1,0 +1,12 @@
+//! Fixture: wall-clock reads blessed by allow markers — must be clean.
+
+use std::time::Instant;
+
+pub fn fallback_timer() -> Instant {
+    // lint::allow(wall_clock): plain-mode fallback timer, never feeds SimTime
+    Instant::now()
+}
+
+pub fn inline_marker() -> Instant {
+    Instant::now() // lint::allow(wall_clock): measured outside the simulation
+}

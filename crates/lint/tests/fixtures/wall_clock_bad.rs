@@ -1,0 +1,13 @@
+//! Fixture: wall-clock reads that must be flagged in deterministic paths.
+
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_ms(start: Instant) -> u128 {
+    let now = Instant::now(); // violation: wall_clock
+    now.duration_since(start).as_millis()
+}
+
+pub fn unix_secs() -> u64 {
+    let t = SystemTime::now(); // violation: wall_clock
+    t.duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}

@@ -1,0 +1,116 @@
+//! Per-rule fixture tests: each fixture file is lexed and checked exactly
+//! as the `er-lint` binary would, under a path class that activates the
+//! rule in question — positive fixtures must produce the expected
+//! diagnostics, allowlisted fixtures must come back clean.
+
+use er_lint::{check_file, Config, Diagnostic, FileContext};
+
+fn check(path_class: &str, src: &str) -> Vec<Diagnostic> {
+    let ctx = FileContext::new(path_class, src);
+    check_file(&ctx, &Config::default())
+}
+
+fn rules_and_lines(diags: &[Diagnostic]) -> Vec<(&'static str, u32)> {
+    diags.iter().map(|d| (d.rule, d.line)).collect()
+}
+
+#[test]
+fn wall_clock_fixture_flags_both_clock_reads() {
+    let src = include_str!("fixtures/wall_clock_bad.rs");
+    let diags = check("crates/sim/src/wall_clock_bad.rs", src);
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![("wall_clock", 6), ("wall_clock", 11)],
+        "{diags:#?}"
+    );
+    // Diagnostics carry file:line:col and the rule name — the format the
+    // CI gate greps for.
+    assert!(diags[0]
+        .to_string()
+        .starts_with("crates/sim/src/wall_clock_bad.rs:6:"));
+    assert!(diags[0].to_string().contains("[wall_clock]"));
+}
+
+#[test]
+fn wall_clock_allow_markers_suppress_cleanly() {
+    let src = include_str!("fixtures/wall_clock_allowed.rs");
+    let diags = check("crates/sim/src/wall_clock_allowed.rs", src);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn wall_clock_fixture_is_clean_outside_scoped_paths() {
+    let src = include_str!("fixtures/wall_clock_bad.rs");
+    let diags = check("crates/metrics/src/wall_clock_bad.rs", src);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn hashmap_iter_fixture_flags_iteration_not_lookup() {
+    let src = include_str!("fixtures/hashmap_iter_bad.rs");
+    let diags = check("crates/sim/src/hashmap_iter_bad.rs", src);
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![
+            ("hashmap_iter", 12),
+            ("hashmap_iter", 16),
+            ("hashmap_iter", 30)
+        ],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn no_panic_fixture_flags_library_code_not_tests() {
+    let src = include_str!("fixtures/no_panic_bad.rs");
+    let diags = check("crates/rpc/src/no_panic_bad.rs", src);
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![("no_panic", 4), ("no_panic", 5), ("no_panic", 7)],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn float_reduction_fixture_flags_f32_reductions_only() {
+    let src = include_str!("fixtures/float_reduction_bad.rs");
+    let diags = check("crates/model/src/float_reduction_bad.rs", src);
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![("float_reduction", 4), ("float_reduction", 8)],
+        "{diags:#?}"
+    );
+    // The same file inside a blessed kernel module is clean.
+    let blessed = check("crates/tensor/src/matrix.rs", src);
+    assert!(blessed.is_empty(), "{blessed:#?}");
+}
+
+#[test]
+fn ambient_fixture_flags_rng_and_env_reads() {
+    let src = include_str!("fixtures/ambient_bad.rs");
+    let diags = check("crates/partition/src/ambient_bad.rs", src);
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![("ambient_rng", 4), ("env_io", 9)],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn fixtures_are_clean_when_classed_as_test_files() {
+    // The same sources under tests/ or benches/ raise nothing for
+    // hot-path rules (wall_clock still applies only via scoped paths).
+    let src = include_str!("fixtures/no_panic_bad.rs");
+    assert!(check("crates/rpc/tests/no_panic_bad.rs", src).is_empty());
+    let src = include_str!("fixtures/float_reduction_bad.rs");
+    assert!(check("crates/model/benches/float_reduction_bad.rs", src).is_empty());
+}
+
+#[test]
+fn config_override_can_extend_a_scope() {
+    let cfg = Config::from_toml_str("deterministic = [\"crates/metrics/src\"]").unwrap();
+    let src = include_str!("fixtures/wall_clock_bad.rs");
+    let ctx = FileContext::new("crates/metrics/src/qps.rs", src);
+    let diags = check_file(&ctx, &cfg);
+    assert_eq!(diags.len(), 2);
+}

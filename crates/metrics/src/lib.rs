@@ -17,6 +17,9 @@
 //! assert!(h.percentile(0.95) >= 3.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations, unreachable_pub)]
+
 mod histogram;
 mod qps;
 mod summary;

@@ -118,27 +118,25 @@ impl EmbeddingTable {
 
     /// Fused gather+pool: the same `EmbeddingBag` operation as
     /// [`EmbeddingTable::gather_pool`], pooled directly out of the table's
-    /// flat storage, with the accumulation loop dispatched to an
-    /// AVX2-compiled clone on x86-64 CPUs that support it (the same Rust
-    /// code recompiled for 256-bit vectors — no intrinsics, no FP
-    /// reordering). Per output element the additions happen in exactly the
-    /// reference order (lookup order, ascending dim), so results are
-    /// **bit-identical** — `gather_pool` stays as the test oracle.
+    /// flat storage by [`er_tensor::gather_pool_csr`] (which dispatches to
+    /// an AVX2-compiled clone of the same Rust code on x86-64 CPUs that
+    /// support it — no intrinsics, no FP reordering). Per output element
+    /// the additions happen in exactly the reference order (lookup order,
+    /// ascending dim), so results are **bit-identical** — `gather_pool`
+    /// stays as the test oracle.
     ///
     /// # Panics
     ///
     /// Panics if any index is out of range.
     pub fn gather_pool_fused(&self, lookup: &TableLookup) -> Matrix {
-        let n_inputs = lookup.num_inputs();
-        let d = self.dim as usize;
-        let mut out = Matrix::zeros(n_inputs, d);
-        #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: AVX2 support was just verified at runtime.
-            unsafe { gather_pool_avx2(&self.data, self.rows, lookup, &mut out) };
-            return out;
-        }
-        gather_pool_body(&self.data, self.rows, lookup, &mut out);
+        let mut out = Matrix::zeros(lookup.num_inputs(), self.dim as usize);
+        er_tensor::gather_pool_csr(
+            &self.data,
+            self.rows,
+            lookup.indices(),
+            lookup.offsets(),
+            &mut out,
+        );
         out
     }
 
@@ -178,31 +176,6 @@ impl EmbeddingTable {
             rows: self.rows,
             dim: self.dim,
             data,
-        }
-    }
-}
-
-/// The fused gather+pool accumulation recompiled with 256-bit vectors.
-/// Identical Rust code to [`gather_pool_body`], so the FP op sequence (and
-/// therefore the result) is exactly that of the portable build.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn gather_pool_avx2(data: &[f32], rows: u32, lookup: &TableLookup, out: &mut Matrix) {
-    gather_pool_body(data, rows, lookup, out);
-}
-
-#[inline(always)]
-fn gather_pool_body(data: &[f32], rows: u32, lookup: &TableLookup, out: &mut Matrix) {
-    let d = out.cols();
-    for input in 0..lookup.num_inputs() {
-        let row = out.row_mut(input);
-        for &id in lookup.indices_for(input) {
-            assert!(id < rows, "embedding id {id} out of range ({rows})");
-            let base = id as usize * d;
-            let vec = &data[base..base + d];
-            for (o, &v) in row.iter_mut().zip(vec) {
-                *o += v;
-            }
         }
     }
 }
@@ -257,6 +230,7 @@ pub fn gather_pool_all(
         }
     });
     out.into_iter()
+        // lint::allow(no_panic): scoped threads joined; every chunk worker filled its slots
         .map(|m| m.expect("every chunk filled by its worker"))
         .collect()
 }

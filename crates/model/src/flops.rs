@@ -68,6 +68,7 @@ pub fn dense_phase_flops(config: &ModelConfig) -> (u64, u64) {
     let batch = config.batch_size;
     let bottom = mlp_costs(config.num_dense_features, &config.bottom_mlp, batch).flops;
     let top = mlp_costs(config.interaction_dim(), &config.top_mlp, batch).flops;
+    // lint::allow(no_panic): ModelConfig guarantees a non-empty bottom MLP
     let d = *config.bottom_mlp.last().expect("bottom MLP non-empty");
     let inter = interaction_flops(batch, d, config.tables.len());
     (bottom, top + inter)
@@ -79,6 +80,7 @@ impl CostBreakdown {
         let batch = config.batch_size;
         let bottom = mlp_costs(config.num_dense_features, &config.bottom_mlp, batch);
         let top = mlp_costs(config.interaction_dim(), &config.top_mlp, batch);
+        // lint::allow(no_panic): ModelConfig guarantees a non-empty bottom MLP
         let d = *config.bottom_mlp.last().expect("bottom MLP non-empty");
         let inter_flops = interaction_flops(batch, d, config.tables.len());
 

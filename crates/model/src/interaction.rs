@@ -51,8 +51,7 @@ pub fn dot_interaction(dense: &Matrix, pooled: &[Matrix]) -> Matrix {
         let mut k = d;
         for i in 0..n {
             for j in (i + 1)..n {
-                let dot: f32 = vectors[i].iter().zip(vectors[j]).map(|(a, c)| a * c).sum();
-                row[k] = dot;
+                row[k] = er_tensor::reduce::dot_f32(vectors[i], vectors[j]);
                 k += 1;
             }
         }
@@ -62,7 +61,7 @@ pub fn dot_interaction(dense: &Matrix, pooled: &[Matrix]) -> Matrix {
 
 /// FLOPs of the dot interaction for a batch: each of the `(n+1)n/2` pairs
 /// costs `2d` operations per row.
-pub fn interaction_flops(batch: usize, d: usize, num_tables: usize) -> u64 {
+pub(crate) fn interaction_flops(batch: usize, d: usize, num_tables: usize) -> u64 {
     let n = num_tables as u64 + 1;
     let pairs = n * (n - 1) / 2;
     batch as u64 * pairs * 2 * d as u64

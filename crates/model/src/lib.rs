@@ -18,6 +18,9 @@
 //! assert_eq!(model.config().name, "RM1");
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations, unreachable_pub)]
+
 pub mod configs;
 mod dlrm;
 mod embedding;

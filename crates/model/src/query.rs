@@ -67,10 +67,10 @@ impl TableLookup {
                 )));
             }
         }
-        if *offsets.last().expect("non-empty") as usize > indices.len() {
+        let last = offsets[offsets.len() - 1];
+        if last as usize > indices.len() {
             return Err(LookupError(format!(
-                "last offset {} exceeds index array length {}",
-                offsets.last().expect("non-empty"),
+                "last offset {last} exceeds index array length {}",
                 indices.len()
             )));
         }
@@ -203,6 +203,7 @@ impl QueryGenerator {
                         indices.push((rank - 1).min(t.rows - 1) as u32);
                     }
                 }
+                // lint::allow(no_panic): generator pushes offsets in ascending order ending within indices
                 TableLookup::new(indices, offsets).expect("generator builds valid offsets")
             })
             .collect();

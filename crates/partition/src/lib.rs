@@ -24,6 +24,9 @@
 //! assert!(plan.num_shards() >= 2); // skewed tables get split
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations, unreachable_pub)]
+
 mod bucketize;
 mod cost;
 mod dp;
@@ -31,7 +34,7 @@ mod plan;
 mod qps_model;
 
 pub use bucketize::{bucketize, bucketize_tables, BucketizedLookup};
-pub use cost::CostModel;
+pub use cost::{CostModel, DEFAULT_TARGET_TRAFFIC};
 pub use dp::{partition_bucketed, partition_bucketed_k, partition_exact};
 pub use plan::PartitionPlan;
 pub use qps_model::{AnalyticGatherModel, ProfiledQpsModel, QpsModel};

@@ -1,5 +1,21 @@
 //! Replica selection — the Linkerd stand-in.
 
+/// Error from [`Balancer::try_pick`]: there are no replicas to pick from.
+///
+/// A service scaled to zero cannot route; callers that can observe an empty
+/// replica set mid-scale-down should use [`Balancer::try_pick`] and queue or
+/// shed the request instead of crashing the routing thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalanceError;
+
+impl std::fmt::Display for BalanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("cannot balance over zero replicas")
+    }
+}
+
+impl std::error::Error for BalanceError {}
+
 /// Chooses which replica of a microservice receives the next request.
 ///
 /// Implementations are deliberately minimal: the simulator calls
@@ -11,8 +27,22 @@ pub trait Balancer {
     ///
     /// # Panics
     ///
-    /// Implementations panic if `n == 0`.
+    /// Implementations panic if `n == 0`; use [`Balancer::try_pick`] where
+    /// an empty replica set is a reachable state rather than a bug.
     fn pick(&mut self, n: usize) -> usize;
+
+    /// Fallible [`Balancer::pick`]: returns [`BalanceError`] instead of
+    /// panicking when `n == 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BalanceError`] if `n == 0`.
+    fn try_pick(&mut self, n: usize) -> Result<usize, BalanceError> {
+        if n == 0 {
+            return Err(BalanceError);
+        }
+        Ok(self.pick(n))
+    }
 
     /// Reports that a request previously routed to `replica` completed.
     /// The default implementation ignores it.
@@ -93,7 +123,14 @@ impl Balancer for LeastOutstanding {
         if self.outstanding.len() < n {
             self.outstanding.resize(n, 0);
         }
-        let choice = (0..n).min_by_key(|&i| self.outstanding[i]).expect("n > 0");
+        // Scan for the minimum directly — ties break toward lower IDs, and
+        // unlike `min_by_key` there is no empty-range Option to unwrap.
+        let mut choice = 0;
+        for i in 1..n {
+            if self.outstanding[i] < self.outstanding[choice] {
+                choice = i;
+            }
+        }
         self.outstanding[choice] += 1;
         choice
     }
@@ -301,5 +338,27 @@ mod tests {
     #[should_panic(expected = "zero replicas")]
     fn least_outstanding_zero_replicas_panics() {
         LeastOutstanding::new().pick(0);
+    }
+
+    #[test]
+    fn try_pick_errors_instead_of_panicking() {
+        assert_eq!(RoundRobin::new().try_pick(0), Err(BalanceError));
+        assert_eq!(LeastOutstanding::new().try_pick(0), Err(BalanceError));
+        use er_sim::SimRng;
+        let mut p2c = PowerOfTwoChoices::new(SimRng::seed_from(5));
+        assert_eq!(p2c.try_pick(0), Err(BalanceError));
+    }
+
+    #[test]
+    fn try_pick_matches_pick_when_replicas_exist() {
+        let mut a = RoundRobin::new();
+        let mut b = RoundRobin::new();
+        for _ in 0..7 {
+            assert_eq!(a.try_pick(3).ok(), Some(b.pick(3)));
+        }
+        assert_eq!(
+            BalanceError.to_string(),
+            "cannot balance over zero replicas"
+        );
     }
 }

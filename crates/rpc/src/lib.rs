@@ -20,9 +20,12 @@
 //! assert!(secs > 0.0 && secs < 0.01);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations, unreachable_pub)]
+
 mod balancer;
 pub mod messages;
 mod network;
 
-pub use balancer::{Balancer, LeastOutstanding, PowerOfTwoChoices, RoundRobin};
+pub use balancer::{BalanceError, Balancer, LeastOutstanding, PowerOfTwoChoices, RoundRobin};
 pub use network::NetworkProfile;

@@ -27,6 +27,9 @@
 //! assert_eq!(ev, Ev::QueryArrival(7));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations, unreachable_pub)]
+
 mod queue;
 mod rng;
 mod time;

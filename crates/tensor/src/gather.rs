@@ -1,0 +1,123 @@
+//! Fused embedding gather + sum-pool over CSR lookups.
+//!
+//! The `EmbeddingBag` kernel shared by every embedding-table holder in the
+//! workspace: `er-model`'s tables call in here so the only `unsafe` (the
+//! AVX2-recompiled clone, see [`crate::simd`]) lives in this crate. The
+//! lookup is CSR-style: `offsets[i]` is the start of input `i`'s index run
+//! in `indices`, the last run extends to `indices.len()`.
+
+use crate::Matrix;
+
+/// Gathers rows of `data` (a `rows x out.cols()` row-major table) per the
+/// CSR lookup and sum-pools them into `out` (one pooled row per input),
+/// dispatched to an AVX2-compiled clone on x86-64 CPUs that support it —
+/// the same Rust code recompiled for 256-bit vectors, no intrinsics, no FP
+/// reordering, so results are bit-identical to the portable build. Per
+/// output element the additions happen in lookup order, ascending dim.
+///
+/// # Panics
+///
+/// Panics if `out.rows() != offsets.len()`, if `data` is not
+/// `rows * out.cols()` long, if any offset run is out of bounds or
+/// descending, or if any index is `>= rows`.
+pub fn gather_pool_csr(
+    data: &[f32],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    assert_eq!(
+        out.rows(),
+        offsets.len(),
+        "output must have one row per lookup input"
+    );
+    assert_eq!(
+        data.len(),
+        rows as usize * out.cols(),
+        "table storage must be rows x dim"
+    );
+    crate::simd::gather_pool_csr(data, rows, indices, offsets, out);
+}
+
+/// The portable kernel body. [`crate::simd`] recompiles this exact code
+/// with AVX2 enabled, which is why it must stay free of
+/// architecture-conditional logic.
+#[inline(always)]
+pub(crate) fn gather_pool_csr_body(
+    data: &[f32],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    let d = out.cols();
+    for input in 0..offsets.len() {
+        let start = offsets[input] as usize;
+        let end = offsets
+            .get(input + 1)
+            .map_or(indices.len(), |&o| o as usize);
+        let row = out.row_mut(input);
+        for &id in &indices[start..end] {
+            assert!(id < rows, "embedding id {id} out of range ({rows})");
+            let base = id as usize * d;
+            let vec = &data[base..base + d];
+            for (o, &v) in row.iter_mut().zip(vec) {
+                *o += v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (Vec<f32>, u32) {
+        // 4 rows x 2 dims: row i = [i, 10i].
+        let data = vec![0.0, 0.0, 1.0, 10.0, 2.0, 20.0, 3.0, 30.0];
+        (data, 4)
+    }
+
+    #[test]
+    fn pools_each_csr_run_into_its_row() {
+        let (data, rows) = table();
+        let mut out = Matrix::zeros(2, 2);
+        // Input 0 pools rows {1, 2}; input 1 pools row {3}.
+        gather_pool_csr(&data, rows, &[1, 2, 3], &[0, 2], &mut out);
+        assert_eq!(out.row(0), &[3.0, 30.0]);
+        assert_eq!(out.row(1), &[3.0, 30.0]);
+    }
+
+    #[test]
+    fn empty_runs_leave_zero_rows() {
+        let (data, rows) = table();
+        let mut out = Matrix::zeros(2, 2);
+        gather_pool_csr(&data, rows, &[2], &[0, 0], &mut out);
+        assert_eq!(out.row(0), &[0.0, 0.0]);
+        assert_eq!(out.row(1), &[2.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_ids() {
+        let (data, rows) = table();
+        let mut out = Matrix::zeros(1, 2);
+        gather_pool_csr(&data, rows, &[4], &[0], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "one row per lookup input")]
+    fn rejects_mismatched_output_rows() {
+        let (data, rows) = table();
+        let mut out = Matrix::zeros(3, 2);
+        gather_pool_csr(&data, rows, &[0], &[0], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows x dim")]
+    fn rejects_misshapen_storage() {
+        let mut out = Matrix::zeros(1, 3);
+        gather_pool_csr(&[0.0; 8], 4, &[0], &[0], &mut out);
+    }
+}

@@ -18,14 +18,21 @@
 //! assert_eq!(out.shape(), (4, 32));
 //! ```
 
+#![deny(unsafe_code)] // allowed back on in exactly one module: simd.rs
+#![deny(missing_debug_implementations, unreachable_pub)]
+
 mod activation;
 mod error;
+mod gather;
 mod linear;
 mod matrix;
 mod mlp;
+pub mod reduce;
+mod simd;
 
 pub use activation::Activation;
 pub use error::ShapeError;
+pub use gather::gather_pool_csr;
 pub use linear::Linear;
 pub use matrix::Matrix;
 pub use mlp::Mlp;

@@ -40,6 +40,7 @@ impl Linear {
         let data = (0..in_dim * out_dim)
             .map(|_| rng.gen_range(-bound..bound))
             .collect();
+        // lint::allow(no_panic): data vector is exactly in_dim * out_dim elements by construction
         let weights = Matrix::from_vec(in_dim, out_dim, data).expect("sized by construction");
         Self {
             weights,
@@ -94,9 +95,11 @@ impl Linear {
         // The blocked kernel is bit-identical to the naive one, just faster.
         let z = x
             .matmul_blocked(&self.weights)
+            // lint::allow(no_panic): documented panic surface of forward(): input width must match
             .unwrap_or_else(|e| panic!("linear layer shape mismatch: {e}"));
         let z = z
             .add_row_broadcast(&self.bias)
+            // lint::allow(no_panic): bias length equals out_dim since construction
             .expect("bias width checked at construction");
         self.activation.apply(&z)
     }

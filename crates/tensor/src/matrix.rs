@@ -416,26 +416,14 @@ fn matmul_rows_blocked(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize
     debug_assert!(k == 0 || a.len().is_multiple_of(k));
     debug_assert!(n == 0 || out.len().is_multiple_of(n));
     debug_assert_eq!(b.len(), k * n);
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: AVX2 support was just verified at runtime.
-        unsafe { matmul_rows_avx2(a, b, out, k, n) };
-        return;
-    }
-    matmul_rows_body(a, b, out, k, n);
+    crate::simd::matmul_rows(a, b, out, k, n);
 }
 
-/// The micro-kernel body recompiled with 256-bit vectors. No intrinsics —
-/// identical Rust code, so the FP op sequence (and therefore the result)
-/// is exactly that of the portable build, just on wider registers.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn matmul_rows_avx2(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
-    matmul_rows_body(a, b, out, k, n);
-}
-
+/// The portable micro-kernel body. [`crate::simd`] recompiles this exact
+/// code with AVX2 enabled (no intrinsics — same FP op sequence, wider
+/// registers), which is why it must stay architecture-unconditional.
 #[inline(always)]
-fn matmul_rows_body(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+pub(crate) fn matmul_rows_body(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
     if n == 0 || k == 0 {
         return; // out is already the all-zeros product
     }
@@ -493,6 +481,7 @@ fn micro_panel<const R: usize>(
     #[allow(clippy::needless_range_loop)]
     for kk in 0..k {
         let off = kk * n + jb;
+        // lint::allow(no_panic): slice is exactly PANEL long; try_into cannot fail
         let bp: &[f32; PANEL] = b[off..off + PANEL].try_into().expect("PANEL-sized");
         for r in 0..R {
             let av = arows[r][kk];

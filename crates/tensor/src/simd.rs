@@ -1,0 +1,67 @@
+//! The workspace's only `unsafe` module: AVX2-recompiled kernel clones.
+//!
+//! Every function here is an exact clone of a portable kernel body
+//! (`matmul_rows_body`, `gather_pool_csr_body`) compiled with
+//! `#[target_feature(enable = "avx2")]` — the same Rust source on wider
+//! registers, no intrinsics, so the FP op sequence (and therefore the
+//! bits) cannot diverge from the portable build. The `unsafe` is confined
+//! to (a) declaring the `target_feature` functions and (b) calling them
+//! after an explicit runtime `is_x86_feature_detected!("avx2")` check;
+//! nothing else in the workspace is allowed to use `unsafe` — every other
+//! crate root carries `#![forbid(unsafe_code)]`, and `er-tensor` itself
+//! denies it outside this module.
+#![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use crate::Matrix;
+
+/// `out = a * b` through the 6x16 register-blocked micro-kernel,
+/// AVX2-dispatched. See `matmul_rows_body` in `matrix.rs` for the kernel
+/// and the bit-exactness argument.
+pub(crate) fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { matmul_rows_avx2(a, b, out, k, n) };
+        return;
+    }
+    crate::matrix::matmul_rows_body(a, b, out, k, n);
+}
+
+/// CSR gather + sum-pool, AVX2-dispatched. See
+/// [`crate::gather::gather_pool_csr_body`].
+pub(crate) fn gather_pool_csr(
+    data: &[f32],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { gather_pool_csr_avx2(data, rows, indices, offsets, out) };
+        return;
+    }
+    crate::gather::gather_pool_csr_body(data, rows, indices, offsets, out);
+}
+
+/// The matmul micro-kernel body recompiled with 256-bit vectors.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_rows_avx2(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    crate::matrix::matmul_rows_body(a, b, out, k, n);
+}
+
+/// The gather+pool body recompiled with 256-bit vectors.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gather_pool_csr_avx2(
+    data: &[f32],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    crate::gather::gather_pool_csr_body(data, rows, indices, offsets, out);
+}

@@ -18,6 +18,9 @@
 //! assert!(first > 0.0 && first < 1.0); // ~10 ms mean gap at 100 QPS
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations, unreachable_pub)]
+
 mod arrivals;
 mod schedule;
 mod sla;

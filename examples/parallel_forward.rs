@@ -4,6 +4,10 @@
 //!
 //! Run with `cargo run --release --example parallel_forward`.
 
+// Demo timing is intentionally wall-clock; nothing here feeds results back
+// into a deterministic path.
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::Arc;
 use std::time::Instant;
 
