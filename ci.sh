@@ -29,9 +29,21 @@ run_stage() {
     STAGE_RESULTS[${#STAGE_RESULTS[@]}-1]="ok"
 }
 
+# er-lint writes the machine-readable report to target/er-lint.json and a
+# per-rule summary row (rule=count) to stderr, which lands in the CI log.
+er_lint_json() {
+    mkdir -p target
+    cargo run --release -q -p er-lint -- --format json . > target/er-lint.json
+}
+
 run_stage "fmt" cargo fmt --check
 run_stage "clippy" cargo clippy --workspace --all-targets -- -D warnings
-run_stage "er-lint" cargo run --release -q -p er-lint -- .
+run_stage "er-lint" er_lint_json
+# The lint must hold itself and the units crate to its own serving-path
+# rules (dogfooding: panic-free library code, no unit mixing).
+run_stage "er-lint self-check" cargo run --release -q -p er-lint -- --only crates/lint --only crates/units .
+# Every tests/fixtures/*_bad.rs must yield exactly its expected findings.
+run_stage "er-lint fixtures" cargo test -q -p er-lint --test rule_fixtures
 run_stage "build (tier-1)" cargo build --release
 run_stage "test (tier-1)" cargo test -q
 run_stage "test race-check" cargo test -q -p elasticrec --features race-check

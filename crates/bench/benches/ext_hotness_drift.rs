@@ -19,8 +19,9 @@ use er_model::configs;
 use er_partition::{
     partition_bucketed, AnalyticGatherModel, CostModel, PartitionPlan, ProfiledQpsModel, QpsModel,
 };
+use er_units::{Bytes, BytesPerSec, Qps, Secs};
 
-const TARGET_QPS: f64 = 400.0;
+const TARGET_QPS: Qps = Qps::of(400.0);
 
 /// Memory (bytes) of deploying `plan` for one table when the true access
 /// distribution is `access`, priced by the Algorithm 1 cost model — the
@@ -31,9 +32,9 @@ fn table_memory<M: AccessModel>(
     access: &M,
     qps: &impl QpsModel,
     n_t: f64,
-    vector_bytes: u64,
-    min_mem: u64,
-) -> f64 {
+    vector_bytes: Bytes,
+    min_mem: Bytes,
+) -> Bytes {
     let cost =
         CostModel::new(access, qps, n_t, vector_bytes, min_mem).with_target_traffic(TARGET_QPS);
     plan.shards().iter().map(|&(k, j)| cost.cost(k, j)).sum()
@@ -45,28 +46,23 @@ fn main() {
     let table = model.tables[0];
     let rows = table.rows;
     let n_t = (model.batch_size as u64 * table.pooling as u64) as f64;
-    let vector_bytes = table.vector_bytes();
+    let vector_bytes = Bytes::of_u64(table.vector_bytes());
+    let min_mem = Bytes::of_u64(calib.min_mem_alloc_bytes);
 
     let snapshot = LocalityTarget::new(model.locality_p).solve(rows);
     let hardware = AnalyticGatherModel::new(
-        calib.sparse_base_secs,
-        calib.sparse_cores as f64 * calib.gather_bytes_per_sec_per_core,
+        Secs::of(calib.sparse_base_secs),
+        BytesPerSec::of(calib.sparse_cores as f64 * calib.gather_bytes_per_sec_per_core),
         vector_bytes,
     );
     let qps = ProfiledQpsModel::profile(&hardware, &ProfiledQpsModel::standard_sweep(2.0 * n_t));
 
     // The plan computed from the (soon to be stale) snapshot.
     let stale_plan = {
-        let cost = CostModel::new(
-            &snapshot,
-            &qps,
-            n_t,
-            vector_bytes,
-            calib.min_mem_alloc_bytes,
-        )
-        .with_target_traffic(TARGET_QPS);
+        let cost = CostModel::new(&snapshot, &qps, n_t, vector_bytes, min_mem)
+            .with_target_traffic(TARGET_QPS);
         partition_bucketed(rows, calib.s_max, calib.dp_candidates, |k, j| {
-            cost.cost(k, j)
+            cost.cost(k, j).raw()
         })
     };
 
@@ -74,39 +70,24 @@ fn main() {
         "Extension: hotness drift",
         "per-table memory at 400 QPS as popularity drifts (RM1 table)",
     );
-    let gib = (1u64 << 30) as f64;
     let mut stale_curve = Vec::new();
     let mut fresh_curve = Vec::new();
     for drift in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
         let truth = DriftedAccess::new(&snapshot, drift);
-        let stale = table_memory(
-            &stale_plan,
-            &truth,
-            &qps,
-            n_t,
-            vector_bytes,
-            calib.min_mem_alloc_bytes,
-        );
+        let stale = table_memory(&stale_plan, &truth, &qps, n_t, vector_bytes, min_mem);
         let fresh_plan = {
-            let cost = CostModel::new(&truth, &qps, n_t, vector_bytes, calib.min_mem_alloc_bytes)
+            let cost = CostModel::new(&truth, &qps, n_t, vector_bytes, min_mem)
                 .with_target_traffic(TARGET_QPS);
             partition_bucketed(rows, calib.s_max, calib.dp_candidates, |k, j| {
-                cost.cost(k, j)
+                cost.cost(k, j).raw()
             })
         };
-        let fresh = table_memory(
-            &fresh_plan,
-            &truth,
-            &qps,
-            n_t,
-            vector_bytes,
-            calib.min_mem_alloc_bytes,
-        );
+        let fresh = table_memory(&fresh_plan, &truth, &qps, n_t, vector_bytes, min_mem);
         report::row(
             &format!("drift {:>3.0}%", drift * 100.0),
             &[
-                ("stale_plan", format!("{:.2} GiB", stale / gib)),
-                ("fresh_plan", format!("{:.2} GiB", fresh / gib)),
+                ("stale_plan", format!("{:.2} GiB", stale.gib())),
+                ("fresh_plan", format!("{:.2} GiB", fresh.gib())),
                 ("staleness_penalty", format!("{:.2}x", stale / fresh)),
                 ("fresh_shards", fresh_plan.num_shards().to_string()),
             ],
@@ -117,18 +98,18 @@ fn main() {
 
     // Claims.
     assert!(
-        (stale_curve[0] - fresh_curve[0]).abs() < 1e-6,
+        (stale_curve[0] - fresh_curve[0]).raw().abs() < 1e-6,
         "at zero drift the stale plan IS the fresh plan"
     );
     for (s, f) in stale_curve.iter().zip(&fresh_curve) {
         assert!(
-            *s >= *f - 1e-6,
+            *s >= *f - Bytes::of(1e-6),
             "a stale plan can never beat the re-optimized one"
         );
     }
     // The penalty must be visible at heavy drift but bounded: partitioned
     // serving degrades gracefully, it does not collapse.
-    let penalty = stale_curve.last().expect("non-empty") / fresh_curve.last().expect("non-empty");
+    let penalty = *stale_curve.last().expect("non-empty") / *fresh_curve.last().expect("non-empty");
     assert!(
         penalty > 1.02 && penalty < 10.0,
         "full-drift penalty {penalty:.2}x out of expected band"

@@ -8,6 +8,7 @@
 use elasticrec::{Calibration, Platform};
 use er_bench::report;
 use er_model::configs;
+use er_units::Bytes;
 
 fn layer_qps(platform: Platform, calib: &Calibration, cfg: &er_model::ModelConfig) -> (f64, f64) {
     let (bottom, top) = er_model::dense_phase_flops(cfg);
@@ -17,10 +18,10 @@ fn layer_qps(platform: Platform, calib: &Calibration, cfg: &er_model::ModelConfi
         calib.cpu_dense_secs(bottom, calib.mw_worker_cores)
             + calib.cpu_dense_secs(top, calib.mw_worker_cores)
     };
-    let gather_bytes: f64 = cfg
+    let gather_bytes: Bytes = cfg
         .tables
         .iter()
-        .map(|t| (cfg.batch_size as u64 * t.pooling as u64 * t.vector_bytes()) as f64)
+        .map(|t| Bytes::of_u64(cfg.batch_size as u64 * t.pooling as u64 * t.vector_bytes()))
         .sum();
     let sparse_secs = calib.cpu_sparse_secs(gather_bytes, calib.mw_cores);
     (1.0 / dense_secs, 1.0 / sparse_secs)

@@ -9,6 +9,7 @@
 use elasticrec::Calibration;
 use er_bench::report;
 use er_partition::{AnalyticGatherModel, ProfiledQpsModel, QpsModel};
+use er_units::{Bytes, BytesPerSec, Secs};
 
 fn main() {
     let calib = Calibration::cpu_only();
@@ -22,12 +23,12 @@ fn main() {
     let mut curves = Vec::new();
     for &dim in &dims {
         let hw = AnalyticGatherModel::new(
-            calib.sparse_base_secs,
-            calib.sparse_cores as f64 * calib.gather_bytes_per_sec_per_core,
-            dim * 4,
+            Secs::of(calib.sparse_base_secs),
+            BytesPerSec::of(calib.sparse_cores as f64 * calib.gather_bytes_per_sec_per_core),
+            Bytes::of_u64(dim * 4),
         );
         let profiled = ProfiledQpsModel::profile(&hw, &sweep);
-        let qps: Vec<f64> = sweep.iter().map(|&x| profiled.qps(x)).collect();
+        let qps: Vec<f64> = sweep.iter().map(|&x| profiled.qps(x).raw()).collect();
         let cells: Vec<(String, String)> = sweep
             .iter()
             .zip(&qps)

@@ -10,6 +10,7 @@
 use elasticrec::{plan, Calibration, Platform, SteadyState, Strategy};
 use er_bench::report;
 use er_model::configs;
+use er_units::Bytes;
 
 const TARGET_QPS: f64 = 200.0;
 const HIT_RATE: f64 = 0.90;
@@ -39,10 +40,10 @@ fn main() {
         let el_s = SteadyState::size(&el, TARGET_QPS, &calib).expect("fits");
 
         // Embedding-stage latency cut from the cache (paper: ~47%).
-        let gather_bytes: f64 = cfg
+        let gather_bytes: Bytes = cfg
             .tables
             .iter()
-            .map(|t| (cfg.batch_size as u64 * t.pooling as u64 * t.vector_bytes()) as f64)
+            .map(|t| Bytes::of_u64(cfg.batch_size as u64 * t.pooling as u64 * t.vector_bytes()))
             .sum();
         let plain_secs = calib.cpu_sparse_secs(gather_bytes, calib.mw_cores);
         let cached_secs = calib.cached_sparse_secs(gather_bytes, calib.mw_cores, HIT_RATE);

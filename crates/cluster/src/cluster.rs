@@ -76,7 +76,7 @@ impl NodePool {
     fn capacity(&self) -> ResourceRequest {
         ResourceRequest {
             cpu_millicores: self.profile.cpu_millicores(),
-            memory_bytes: self.profile.mem_bytes,
+            memory_bytes: self.profile.mem_bytes.whole(),
             gpus: u32::from(self.profile.has_gpu()),
         }
     }

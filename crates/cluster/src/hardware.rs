@@ -1,25 +1,26 @@
 //! Hardware profiles for the paper's two testbeds (Section V-A).
 
+use er_units::{Bytes, BytesPerSec, Cores, FlopsPerSec};
 use serde::{Deserialize, Serialize};
 
 /// GPU attached to a node.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GpuSpec {
-    /// Sustained single-precision throughput (FLOP/s).
-    pub flops_per_sec: f64,
-    /// On-board HBM capacity in bytes.
-    pub hbm_bytes: u64,
-    /// Host↔device transfer bandwidth in bytes/s (PCIe).
-    pub pcie_bytes_per_sec: f64,
+    /// Sustained single-precision throughput.
+    pub flops_per_sec: FlopsPerSec,
+    /// On-board HBM capacity.
+    pub hbm_bytes: Bytes,
+    /// Host↔device transfer bandwidth (PCIe).
+    pub pcie_bytes_per_sec: BytesPerSec,
 }
 
 impl GpuSpec {
     /// NVIDIA Tesla T4: ~8.1 TFLOP/s FP32, 16 GB HBM, PCIe 3.0 x16.
     pub fn tesla_t4() -> Self {
         Self {
-            flops_per_sec: 8.1e12,
-            hbm_bytes: 16 << 30,
-            pcie_bytes_per_sec: 12.0e9,
+            flops_per_sec: FlopsPerSec::of(8.1e12),
+            hbm_bytes: Bytes::of_u64(16 << 30),
+            pcie_bytes_per_sec: BytesPerSec::of(12.0e9),
         }
     }
 }
@@ -34,14 +35,14 @@ pub struct HardwareProfile {
     /// Profile name for reports.
     pub name: &'static str,
     /// Logical CPU cores.
-    pub cpu_cores: u32,
-    /// Sustained CPU throughput across all cores (FLOP/s). Sized for dense
+    pub cpu_cores: Cores,
+    /// Sustained CPU throughput across all cores. Sized for dense
     /// inference kernels, not peak marketing numbers.
-    pub cpu_flops_per_sec: f64,
-    /// DRAM capacity in bytes.
-    pub mem_bytes: u64,
-    /// Peak DRAM bandwidth in bytes/s.
-    pub mem_bw_bytes_per_sec: f64,
+    pub cpu_flops_per_sec: FlopsPerSec,
+    /// DRAM capacity.
+    pub mem_bytes: Bytes,
+    /// Peak DRAM bandwidth.
+    pub mem_bw_bytes_per_sec: BytesPerSec,
     /// Fraction of peak bandwidth achievable by random embedding gathers
     /// (sparse accesses miss in cache and under-utilize DRAM pages).
     pub gather_efficiency: f64,
@@ -55,12 +56,12 @@ impl HardwareProfile {
     pub fn cpu_only_node() -> Self {
         Self {
             name: "xeon-gold-6242-2s",
-            cpu_cores: 64,
+            cpu_cores: Cores::of(64),
             // ~16 cores' worth of sustained AVX-512 FMA at inference
             // efficiency: ~1.5 TFLOP/s for the whole node.
-            cpu_flops_per_sec: 1.5e12,
-            mem_bytes: 384 << 30,
-            mem_bw_bytes_per_sec: 256.0e9,
+            cpu_flops_per_sec: FlopsPerSec::of(1.5e12),
+            mem_bytes: Bytes::of_u64(384 << 30),
+            mem_bw_bytes_per_sec: BytesPerSec::of(256.0e9),
             gather_efficiency: 0.30,
             gpu: None,
         }
@@ -71,10 +72,10 @@ impl HardwareProfile {
     pub fn cpu_gpu_node() -> Self {
         Self {
             name: "gke-n1-standard-32-t4",
-            cpu_cores: 32,
-            cpu_flops_per_sec: 0.6e12,
-            mem_bytes: 120 << 30,
-            mem_bw_bytes_per_sec: 100.0e9,
+            cpu_cores: Cores::of(32),
+            cpu_flops_per_sec: FlopsPerSec::of(0.6e12),
+            mem_bytes: Bytes::of_u64(120 << 30),
+            mem_bw_bytes_per_sec: BytesPerSec::of(100.0e9),
             gather_efficiency: 0.30,
             gpu: Some(GpuSpec::tesla_t4()),
         }
@@ -82,11 +83,11 @@ impl HardwareProfile {
 
     /// CPU millicores available for scheduling.
     pub fn cpu_millicores(&self) -> u64 {
-        self.cpu_cores as u64 * 1000
+        self.cpu_cores.millicores()
     }
 
-    /// Effective bandwidth seen by random embedding gathers, in bytes/s.
-    pub fn effective_gather_bandwidth(&self) -> f64 {
+    /// Effective bandwidth seen by random embedding gathers.
+    pub fn effective_gather_bandwidth(&self) -> BytesPerSec {
         self.mem_bw_bytes_per_sec * self.gather_efficiency
     }
 
@@ -103,19 +104,19 @@ mod tests {
     #[test]
     fn cpu_node_matches_paper_specs() {
         let n = HardwareProfile::cpu_only_node();
-        assert_eq!(n.cpu_cores, 64);
-        assert_eq!(n.mem_bytes, 384 << 30);
-        assert_eq!(n.mem_bw_bytes_per_sec, 256.0e9);
+        assert_eq!(n.cpu_cores, Cores::of(64));
+        assert_eq!(n.mem_bytes, Bytes::of_u64(384 << 30));
+        assert_eq!(n.mem_bw_bytes_per_sec, BytesPerSec::of(256.0e9));
         assert!(!n.has_gpu());
     }
 
     #[test]
     fn gpu_node_matches_paper_specs() {
         let n = HardwareProfile::cpu_gpu_node();
-        assert_eq!(n.cpu_cores, 32);
-        assert_eq!(n.mem_bytes, 120 << 30);
+        assert_eq!(n.cpu_cores, Cores::of(32));
+        assert_eq!(n.mem_bytes, Bytes::of_u64(120 << 30));
         let gpu = n.gpu.expect("has T4");
-        assert_eq!(gpu.hbm_bytes, 16 << 30);
+        assert_eq!(gpu.hbm_bytes, Bytes::of_u64(16 << 30));
         assert!(gpu.flops_per_sec > n.cpu_flops_per_sec);
     }
 
@@ -123,7 +124,7 @@ mod tests {
     fn gather_bandwidth_is_derated() {
         let n = HardwareProfile::cpu_only_node();
         assert!(n.effective_gather_bandwidth() < n.mem_bw_bytes_per_sec);
-        assert!((n.effective_gather_bandwidth() - 256.0e9 * 0.30).abs() < 1.0);
+        assert!((n.effective_gather_bandwidth().raw() - 256.0e9 * 0.30).abs() < 1.0);
     }
 
     #[test]

@@ -9,26 +9,27 @@
 //! SLA).
 
 use er_sim::SimTime;
+use er_units::{Qps, Secs};
 use serde::{Deserialize, Serialize};
 
 /// What the autoscaler compares against its target.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ScalingTarget {
-    /// Scale so each replica carries at most this many queries/sec —
+    /// Scale so each replica carries at most this traffic —
     /// ElasticRec's sparse-shard policy (threshold = profiled `QPS_max`).
-    QpsPerReplica(f64),
-    /// Scale so observed p95 latency stays at or below this many seconds —
+    QpsPerReplica(Qps),
+    /// Scale so observed p95 latency stays at or below this duration —
     /// ElasticRec's dense-shard policy (65% of the 400 ms SLA).
-    LatencyP95Secs(f64),
+    LatencyP95(Secs),
 }
 
 /// A point-in-time metric observation for one deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Observation {
-    /// Aggregate queries/sec served by the deployment.
-    pub qps: f64,
+    /// Aggregate traffic served by the deployment.
+    pub qps: Qps,
     /// p95 latency over the observation window, if any queries completed.
-    pub p95_latency_secs: Option<f64>,
+    pub p95_latency: Option<Secs>,
 }
 
 /// Error from the fallible HPA entry points ([`HpaPolicy::try_new`],
@@ -75,7 +76,7 @@ pub struct HpaPolicy {
     pub tolerance: f64,
     /// Wait this long after the last scale-down before shrinking again
     /// (Kubernetes' `stabilizationWindowSeconds`).
-    pub scale_down_stabilization_secs: f64,
+    pub scale_down_stabilization: Secs,
     /// Per-evaluation scale-up bound: grow to at most
     /// `max(factor x current, current + pods)` — Kubernetes' default
     /// scale-up policy (100% increase or 4 pods, whichever is higher).
@@ -85,7 +86,7 @@ pub struct HpaPolicy {
 }
 
 impl HpaPolicy {
-    /// A policy with Kubernetes-like defaults: tolerance 10%, 30 s
+    /// A policy with Kubernetes-like defaults: tolerance 10%, 60 s
     /// scale-down stabilization.
     ///
     /// # Panics
@@ -101,7 +102,7 @@ impl HpaPolicy {
             max_replicas,
             target,
             tolerance: 0.10,
-            scale_down_stabilization_secs: 60.0,
+            scale_down_stabilization: Secs::of(60.0),
             max_scale_up_factor: 2.0,
             max_scale_up_pods: 4,
         }
@@ -136,10 +137,11 @@ impl HpaPolicy {
 /// ```
 /// use er_cluster::{HpaController, HpaPolicy, Observation, ScalingTarget};
 /// use er_sim::SimTime;
+/// use er_units::Qps;
 ///
-/// let policy = HpaPolicy::new(1, 10, ScalingTarget::QpsPerReplica(100.0));
+/// let policy = HpaPolicy::new(1, 10, ScalingTarget::QpsPerReplica(Qps::of(100.0)));
 /// let mut hpa = HpaController::new(policy);
-/// let obs = Observation { qps: 450.0, p95_latency_secs: None };
+/// let obs = Observation { qps: Qps::of(450.0), p95_latency: None };
 /// // 450 QPS at 100 QPS/replica -> 5 replicas.
 /// assert_eq!(hpa.evaluate(SimTime::ZERO, 2, obs), Some(5));
 /// ```
@@ -169,12 +171,13 @@ impl HpaController {
         match self.policy.target {
             ScalingTarget::QpsPerReplica(target) => {
                 // metric per replica = qps/current; desired = ceil(current *
-                // metric/target) = ceil(qps/target).
+                // metric/target) = ceil(qps/target). Qps ÷ Qps is a
+                // dimensionless ratio.
                 let ratio = (obs.qps / current.max(1) as f64) / target;
                 Some(((obs.qps / target).ceil().max(0.0) as usize, ratio))
             }
-            ScalingTarget::LatencyP95Secs(target) => {
-                let p95 = obs.p95_latency_secs?;
+            ScalingTarget::LatencyP95(target) => {
+                let p95 = obs.p95_latency?;
                 let ratio = p95 / target;
                 Some((((current as f64) * ratio).ceil().max(0.0) as usize, ratio))
             }
@@ -207,9 +210,10 @@ impl HpaController {
             return None;
         }
         if desired < current {
-            // Scale-down stabilization window.
+            // Scale-down stabilization window. SimTime subtraction yields
+            // raw seconds; rewrap before comparing against the window.
             if let Some(last) = self.last_scale_down {
-                if now - last < self.policy.scale_down_stabilization_secs {
+                if Secs::of(now - last) < self.policy.scale_down_stabilization {
                     return None;
                 }
             }
@@ -243,13 +247,13 @@ mod tests {
     use super::*;
 
     fn qps_policy() -> HpaPolicy {
-        HpaPolicy::new(1, 100, ScalingTarget::QpsPerReplica(50.0))
+        HpaPolicy::new(1, 100, ScalingTarget::QpsPerReplica(Qps::of(50.0)))
     }
 
     fn obs(qps: f64) -> Observation {
         Observation {
-            qps,
-            p95_latency_secs: None,
+            qps: Qps::of(qps),
+            p95_latency: None,
         }
     }
 
@@ -282,20 +286,28 @@ mod tests {
 
     #[test]
     fn bounds_are_respected() {
-        let mut hpa = HpaController::new(HpaPolicy::new(2, 5, ScalingTarget::QpsPerReplica(50.0)));
+        let mut hpa = HpaController::new(HpaPolicy::new(
+            2,
+            5,
+            ScalingTarget::QpsPerReplica(Qps::of(50.0)),
+        ));
         // Rate limit allows 7, but max_replicas caps at 5.
         assert_eq!(hpa.evaluate(SimTime::ZERO, 3, obs(10_000.0)), Some(5));
-        let mut hpa2 = HpaController::new(HpaPolicy::new(2, 5, ScalingTarget::QpsPerReplica(50.0)));
+        let mut hpa2 = HpaController::new(HpaPolicy::new(
+            2,
+            5,
+            ScalingTarget::QpsPerReplica(Qps::of(50.0)),
+        ));
         assert_eq!(hpa2.evaluate(SimTime::ZERO, 4, obs(0.0)), Some(2));
     }
 
     #[test]
     fn latency_target_scales_up_under_pressure() {
-        let policy = HpaPolicy::new(1, 50, ScalingTarget::LatencyP95Secs(0.26));
+        let policy = HpaPolicy::new(1, 50, ScalingTarget::LatencyP95(Secs::of(0.26)));
         let mut hpa = HpaController::new(policy);
         let o = Observation {
-            qps: 100.0,
-            p95_latency_secs: Some(0.52),
+            qps: Qps::of(100.0),
+            p95_latency: Some(Secs::of(0.52)),
         };
         // ratio 2.0 -> double the replicas (exactly the rate limit).
         assert_eq!(hpa.evaluate(SimTime::ZERO, 4, o), Some(8));
@@ -303,7 +315,7 @@ mod tests {
 
     #[test]
     fn latency_target_without_samples_is_noop() {
-        let policy = HpaPolicy::new(1, 50, ScalingTarget::LatencyP95Secs(0.26));
+        let policy = HpaPolicy::new(1, 50, ScalingTarget::LatencyP95(Secs::of(0.26)));
         let mut hpa = HpaController::new(policy);
         assert_eq!(hpa.evaluate(SimTime::ZERO, 4, obs(100.0)), None);
     }
@@ -349,6 +361,57 @@ mod tests {
         assert_eq!(hpa.evaluate(SimTime::ZERO, 8, obs(0.0)), Some(1));
     }
 
+    // ------------------------------------------------------------------
+    // Boundary behaviour at exactly-on-target observations.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn exactly_on_target_qps_is_a_noop() {
+        let mut hpa = HpaController::new(qps_policy());
+        // 4 replicas each carrying exactly the 50 QPS target: ratio 1.0.
+        assert_eq!(hpa.evaluate(SimTime::ZERO, 4, obs(200.0)), None);
+        // The target the controller holds is the typed Qps we configured.
+        assert_eq!(
+            hpa.policy().target,
+            ScalingTarget::QpsPerReplica(Qps::of(50.0))
+        );
+    }
+
+    #[test]
+    fn exactly_on_target_latency_is_a_noop() {
+        let target = Secs::from_millis(260.0);
+        let mut hpa = HpaController::new(HpaPolicy::new(1, 50, ScalingTarget::LatencyP95(target)));
+        let o = Observation {
+            qps: Qps::of(100.0),
+            p95_latency: Some(Secs::of(0.26)),
+        };
+        // p95 exactly at target: ratio 1.0, inside the tolerance band.
+        assert_eq!(hpa.evaluate(SimTime::ZERO, 4, o), None);
+        assert_eq!(hpa.policy().target, ScalingTarget::LatencyP95(target));
+    }
+
+    #[test]
+    fn tolerance_edge_is_inclusive() {
+        let mut hpa = HpaController::new(qps_policy());
+        // ratio 1.09375 (exactly representable): inside the band, noop even
+        // though ceil(4 × 1.09375) = 5 > 4 — the band suppresses rounding.
+        assert_eq!(hpa.evaluate(SimTime::ZERO, 4, obs(218.75)), None);
+        // Just past the band the controller acts.
+        assert_eq!(hpa.evaluate(SimTime::ZERO, 4, obs(221.0)), Some(5));
+    }
+
+    #[test]
+    fn tolerance_edge_below_target_is_inclusive() {
+        let mut hpa = HpaController::new(qps_policy());
+        // ratio exactly 0.9: still inside the band, no scale-down.
+        assert_eq!(hpa.evaluate(SimTime::from_secs(5.0), 10, obs(450.0)), None);
+        // ratio 0.8 scales down (first scale-down needs no stabilization).
+        assert_eq!(
+            hpa.evaluate(SimTime::from_secs(6.0), 10, obs(400.0)),
+            Some(8)
+        );
+    }
+
     #[test]
     #[should_panic(expected = "at least one replica")]
     fn zero_current_panics() {
@@ -358,12 +421,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "min")]
     fn invalid_bounds_panic() {
-        HpaPolicy::new(5, 2, ScalingTarget::QpsPerReplica(1.0));
+        HpaPolicy::new(5, 2, ScalingTarget::QpsPerReplica(Qps::of(1.0)));
     }
 
     #[test]
     fn try_new_reports_bad_bounds() {
-        let err = HpaPolicy::try_new(5, 2, ScalingTarget::QpsPerReplica(1.0)).unwrap_err();
+        let err = HpaPolicy::try_new(5, 2, ScalingTarget::QpsPerReplica(Qps::of(1.0))).unwrap_err();
         assert_eq!(
             err,
             HpaError::InvalidBounds {
@@ -372,7 +435,7 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("1 <= min (5) <= max (2)"));
-        assert!(HpaPolicy::try_new(1, 2, ScalingTarget::QpsPerReplica(1.0)).is_ok());
+        assert!(HpaPolicy::try_new(1, 2, ScalingTarget::QpsPerReplica(Qps::of(1.0))).is_ok());
     }
 
     #[test]
@@ -383,5 +446,24 @@ mod tests {
             Err(HpaError::NoReplicas)
         );
         assert_eq!(hpa.try_evaluate(SimTime::ZERO, 3, obs(500.0)), Ok(Some(7)));
+    }
+
+    #[test]
+    fn try_evaluate_zero_replicas_is_an_error_for_every_target_kind() {
+        for target in [
+            ScalingTarget::QpsPerReplica(Qps::of(50.0)),
+            ScalingTarget::LatencyP95(Secs::of(0.26)),
+        ] {
+            let mut hpa = HpaController::new(HpaPolicy::new(1, 10, target));
+            let o = Observation {
+                qps: Qps::ZERO,
+                p95_latency: Some(Secs::of(1.0)),
+            };
+            assert_eq!(
+                hpa.try_evaluate(SimTime::ZERO, 0, o),
+                Err(HpaError::NoReplicas),
+                "target={target:?}"
+            );
+        }
     }
 }

@@ -11,6 +11,7 @@
 //! order of magnitude.
 
 use er_cluster::HardwareProfile;
+use er_units::{Bytes, Flops};
 use serde::{Deserialize, Serialize};
 
 /// Calibration constants for the serving performance model.
@@ -121,14 +122,14 @@ impl Calibration {
     /// # Panics
     ///
     /// Panics if `cores` is zero.
-    pub fn cpu_dense_secs(&self, flops: u64, cores: u32) -> f64 {
+    pub fn cpu_dense_secs(&self, flops: Flops, cores: u32) -> f64 {
         assert!(cores > 0, "container needs at least one core");
-        self.dense_base_secs + flops as f64 / (cores as f64 * self.cpu_flops_per_core)
+        self.dense_base_secs + flops.raw() / (cores as f64 * self.cpu_flops_per_core)
     }
 
     /// Dense-stage GPU seconds for `flops`.
-    pub fn gpu_dense_secs(&self, flops: u64) -> f64 {
-        self.gpu_base_secs + flops as f64 / self.gpu_flops_per_sec
+    pub fn gpu_dense_secs(&self, flops: Flops) -> f64 {
+        self.gpu_base_secs + flops.raw() / self.gpu_flops_per_sec
     }
 
     /// Sparse-stage seconds for gathering `bytes` on a `cores`-wide CPU
@@ -137,9 +138,9 @@ impl Calibration {
     /// # Panics
     ///
     /// Panics if `cores` is zero.
-    pub fn cpu_sparse_secs(&self, bytes: f64, cores: u32) -> f64 {
+    pub fn cpu_sparse_secs(&self, bytes: Bytes, cores: u32) -> f64 {
         assert!(cores > 0, "container needs at least one core");
-        self.sparse_base_secs + bytes / (cores as f64 * self.gather_bytes_per_sec_per_core)
+        self.sparse_base_secs + bytes.raw() / (cores as f64 * self.gather_bytes_per_sec_per_core)
     }
 
     /// Sparse-stage seconds when a fraction `gpu_hit_rate` of gathered bytes
@@ -148,7 +149,7 @@ impl Calibration {
     /// # Panics
     ///
     /// Panics if `gpu_hit_rate` is outside `[0, 1]` or `cores` is zero.
-    pub fn cached_sparse_secs(&self, bytes: f64, cores: u32, gpu_hit_rate: f64) -> f64 {
+    pub fn cached_sparse_secs(&self, bytes: Bytes, cores: u32, gpu_hit_rate: f64) -> f64 {
         assert!(
             (0.0..=1.0).contains(&gpu_hit_rate),
             "hit rate must be in [0,1], got {gpu_hit_rate}"
@@ -156,14 +157,13 @@ impl Calibration {
         let cpu_bytes = bytes * (1.0 - gpu_hit_rate);
         let gpu_bytes = bytes * gpu_hit_rate;
         self.sparse_base_secs
-            + cpu_bytes / (cores as f64 * self.gather_bytes_per_sec_per_core)
-            + gpu_bytes / self.gpu_gather_bytes_per_sec
+            + cpu_bytes.raw() / (cores as f64 * self.gather_bytes_per_sec_per_core)
+            + gpu_bytes.raw() / self.gpu_gather_bytes_per_sec
     }
 
     /// Container startup time given the parameter bytes it loads.
-    pub fn startup_secs(&self, param_bytes: u64) -> f64 {
-        self.startup_fixed_secs
-            + self.startup_secs_per_gib * param_bytes as f64 / (1u64 << 30) as f64
+    pub fn startup_secs(&self, param_bytes: Bytes) -> f64 {
+        self.startup_fixed_secs + self.startup_secs_per_gib * param_bytes.gib()
     }
 }
 
@@ -174,24 +174,24 @@ mod tests {
     #[test]
     fn dense_secs_scale_with_flops_and_cores() {
         let c = Calibration::cpu_only();
-        let slow = c.cpu_dense_secs(100_000_000, 8);
-        let fast = c.cpu_dense_secs(100_000_000, 32);
+        let slow = c.cpu_dense_secs(Flops::of(100_000_000.0), 8);
+        let fast = c.cpu_dense_secs(Flops::of(100_000_000.0), 32);
         assert!(fast < slow);
-        assert!(c.cpu_dense_secs(200_000_000, 8) > slow);
+        assert!(c.cpu_dense_secs(Flops::of(200_000_000.0), 8) > slow);
     }
 
     #[test]
     fn gpu_is_much_faster_than_cpu_for_dense() {
         let c = Calibration::cpu_gpu();
-        let flops = 94_000_000; // RM3-scale batch
+        let flops = Flops::of(94_000_000.0); // RM3-scale batch
         assert!(c.gpu_dense_secs(flops) < c.cpu_dense_secs(flops, 16) / 3.0);
     }
 
     #[test]
     fn sparse_secs_scale_with_bytes() {
         let c = Calibration::cpu_only();
-        let one = c.cpu_sparse_secs(500_000.0, 2);
-        let two = c.cpu_sparse_secs(1_000_000.0, 2);
+        let one = c.cpu_sparse_secs(Bytes::of(500_000.0), 2);
+        let two = c.cpu_sparse_secs(Bytes::of(1_000_000.0), 2);
         assert!(two > one);
         // Affine: doubling bytes doubles only the bandwidth term.
         assert!(two - one > 0.9 * (one - c.sparse_base_secs));
@@ -202,7 +202,7 @@ mod tests {
         // The paper reports a ~47% embedding-latency reduction with a 90%
         // hit-rate GPU cache.
         let c = Calibration::cpu_gpu();
-        let bytes = 5_242_880.0; // RM1 per-query gather volume
+        let bytes = Bytes::of(5_242_880.0); // RM1 per-query gather volume
         let plain = c.cpu_sparse_secs(bytes, 16);
         let cached = c.cached_sparse_secs(bytes, 16, 0.90);
         let cut = 1.0 - cached / plain;
@@ -212,8 +212,8 @@ mod tests {
     #[test]
     fn startup_grows_with_model_size() {
         let c = Calibration::cpu_only();
-        let small = c.startup_secs(100 << 20); // a shard
-        let large = c.startup_secs(26 << 30); // a whole RM1 model
+        let small = c.startup_secs(Bytes::of_u64(100 << 20)); // a shard
+        let large = c.startup_secs(Bytes::of_u64(26 << 30)); // a whole RM1 model
         assert!(large > small + 20.0, "small={small} large={large}");
     }
 
@@ -221,12 +221,12 @@ mod tests {
     fn per_replica_qps_lands_in_paper_regime() {
         // RM1-scale: dense ~5.2 MFLOP/query, sparse ~5.2 MB/query.
         let c = Calibration::cpu_only();
-        let dense = 1.0 / c.cpu_dense_secs(5_200_000, c.mw_cores);
-        let sparse = 1.0 / c.cpu_sparse_secs(5_242_880.0, c.mw_cores);
+        let dense = 1.0 / c.cpu_dense_secs(Flops::of(5_200_000.0), c.mw_cores);
+        let sparse = 1.0 / c.cpu_sparse_secs(Bytes::of(5_242_880.0), c.mw_cores);
         assert!(dense > 20.0 && dense < 300.0, "dense={dense}");
         assert!(sparse > 20.0 && sparse < 300.0, "sparse={sparse}");
         // Small-pod sparse shards land in the tens-to-hundreds regime too.
-        let shard = 1.0 / c.cpu_sparse_secs(0.9 * 524_288.0, c.sparse_cores);
+        let shard = 1.0 / c.cpu_sparse_secs(Bytes::of(0.9 * 524_288.0), c.sparse_cores);
         assert!(shard > 20.0 && shard < 500.0, "shard={shard}");
     }
 
@@ -240,12 +240,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one core")]
     fn zero_cores_panics() {
-        Calibration::cpu_only().cpu_dense_secs(1, 0);
+        Calibration::cpu_only().cpu_dense_secs(Flops::of(1.0), 0);
     }
 
     #[test]
     #[should_panic(expected = "hit rate")]
     fn bad_hit_rate_panics() {
-        Calibration::cpu_gpu().cached_sparse_secs(1.0, 1, 1.5);
+        Calibration::cpu_gpu().cached_sparse_secs(Bytes::of(1.0), 1, 1.5);
     }
 }

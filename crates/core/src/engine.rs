@@ -15,6 +15,7 @@ use er_cluster::{Cluster, HpaController, HpaPolicy, Observation, ScalingTarget};
 use er_metrics::{Histogram, QpsWindow, Summary, TimeSeries};
 use er_rpc::{messages, NetworkProfile};
 use er_sim::{EventQueue, SimRng, SimTime};
+use er_units::{Qps, Secs};
 use er_workload::{ArrivalProcess, SlaConfig, TrafficSchedule};
 
 use crate::{Calibration, Platform, ServingPlan, ShardService, SteadyState};
@@ -234,10 +235,10 @@ impl<'a> Engine<'a> {
                 // The paper stress-tests each shard and uses the QPS where
                 // tail latency takes off as the HPA threshold; that knee
                 // sits below hard saturation (1/busy_secs), so derate it.
-                ScalingTarget::QpsPerReplica(shard.qps_max() * KNEE_FRACTION)
+                ScalingTarget::QpsPerReplica(Qps::of(shard.qps_max() * KNEE_FRACTION))
             } else {
                 frontend = i;
-                ScalingTarget::LatencyP95Secs(cfg.sla.hpa_threshold_secs())
+                ScalingTarget::LatencyP95(Secs::of(cfg.sla.hpa_threshold_secs()))
             };
             deploys.push(DeployState {
                 name: shard.name.clone(),
@@ -519,8 +520,12 @@ impl<'a> Engine<'a> {
             }
             let qps = self.deploys[i].qps_window.qps_at(now);
             let obs = Observation {
-                qps,
-                p95_latency_secs: if i == self.frontend { fe_p95 } else { None },
+                qps: Qps::of(qps),
+                p95_latency: if i == self.frontend {
+                    fe_p95.map(Secs::of)
+                } else {
+                    None
+                },
             };
             if let Some(desired) =
                 self.deploys[i]

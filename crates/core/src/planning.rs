@@ -9,6 +9,7 @@ use er_partition::{
     ProfiledQpsModel,
 };
 use er_rpc::NetworkProfile;
+use er_units::{Bytes, BytesPerSec, Qps, Secs};
 use serde::{Deserialize, Serialize};
 
 use crate::{Calibration, ShardRole, ShardService, ShardSpec};
@@ -139,11 +140,11 @@ pub fn plan(
 }
 
 /// Per-query gathered bytes across all tables.
-fn total_gather_bytes(model: &ModelConfig) -> f64 {
+fn total_gather_bytes(model: &ModelConfig) -> Bytes {
     model
         .tables
         .iter()
-        .map(|t| (model.batch_size as u64 * t.pooling as u64 * t.vector_bytes()) as f64)
+        .map(|t| Bytes::of_u64(model.batch_size as u64 * t.pooling as u64 * t.vector_bytes()))
         .sum()
 }
 
@@ -187,7 +188,7 @@ fn plan_model_wise(
     };
 
     let model_bytes = breakdown.dense.param_bytes + breakdown.sparse.param_bytes;
-    let mem = model_bytes + calib.min_mem_alloc_bytes;
+    let mem = (model_bytes + Bytes::of_u64(calib.min_mem_alloc_bytes)).whole();
     let resources = if platform.dense_on_gpu() {
         ResourceRequest::with_gpu(calib.mw_cores as u64 * 1000, mem, 1)
     } else {
@@ -279,8 +280,8 @@ pub fn plan_elastic_with_plans(
                 t_idx,
                 s_idx,
                 access.coverage(k, j) * n_t,
-                (j - k) * table.vector_bytes(),
-                table.vector_bytes(),
+                Bytes::of_u64((j - k) * table.vector_bytes()),
+                Bytes::of_u64(table.vector_bytes()),
             ));
         }
     }
@@ -296,7 +297,8 @@ pub fn plan_elastic_with_plans(
 /// The dense shard's container + performance spec for a platform.
 fn dense_shard_spec(model: &ModelConfig, platform: Platform, calib: &Calibration) -> ShardSpec {
     let breakdown = CostBreakdown::for_config(model);
-    let dense_mem = breakdown.dense.param_bytes + calib.min_mem_alloc_bytes;
+    let dense_mem =
+        (breakdown.dense.param_bytes + Bytes::of_u64(calib.min_mem_alloc_bytes)).whole();
     let dense_resources = if platform.dense_on_gpu() {
         ResourceRequest::with_gpu(calib.dense_cores as u64 * 1000, dense_mem, 1)
     } else {
@@ -321,12 +323,11 @@ fn embedding_shard_spec(
     table: usize,
     shard: usize,
     expected_gathers: f64,
-    shard_bytes: u64,
-    vector_bytes: u64,
+    shard_bytes: Bytes,
+    vector_bytes: Bytes,
 ) -> ShardSpec {
     let role = ShardRole::Embedding { table, shard };
     let name = role.to_string();
-    let _ = vector_bytes;
     ShardSpec {
         name: name.clone(),
         role,
@@ -334,12 +335,12 @@ fn embedding_shard_spec(
             name,
             ResourceRequest::cpu(
                 calib.sparse_cores as u64 * 1000,
-                shard_bytes + calib.min_mem_alloc_bytes,
+                (shard_bytes + Bytes::of_u64(calib.min_mem_alloc_bytes)).whole(),
             ),
             calib.startup_secs(shard_bytes),
         ),
         service: ShardService::Sparse {
-            secs: calib.cpu_sparse_secs(expected_gathers * vector_bytes as f64, calib.sparse_cores),
+            secs: calib.cpu_sparse_secs(vector_bytes * expected_gathers, calib.sparse_cores),
         },
         expected_gathers,
     }
@@ -363,9 +364,9 @@ fn plan_elastic_inner(
         // One-time profiling of gather QPS on a sparse-shard container,
         // then the regression the cost model consumes (Figure 9).
         let hardware = AnalyticGatherModel::new(
-            calib.sparse_base_secs,
-            calib.sparse_cores as f64 * calib.gather_bytes_per_sec_per_core,
-            vector_bytes,
+            Secs::of(calib.sparse_base_secs),
+            BytesPerSec::of(calib.sparse_cores as f64 * calib.gather_bytes_per_sec_per_core),
+            Bytes::of_u64(vector_bytes),
         );
         let sweep = ProfiledQpsModel::standard_sweep((n_t * 2.0).max(16.0));
         let profiled = ProfiledQpsModel::profile(&hardware, &sweep);
@@ -374,16 +375,16 @@ fn plan_elastic_inner(
             &access,
             &profiled,
             n_t,
-            vector_bytes,
-            calib.min_mem_alloc_bytes,
+            Bytes::of_u64(vector_bytes),
+            Bytes::of_u64(calib.min_mem_alloc_bytes),
         )
-        .with_target_traffic(calib.dp_target_traffic);
+        .with_target_traffic(Qps::of(calib.dp_target_traffic));
         let plan = match fixed_shards {
-            Some(k) => {
-                partition_bucketed_k(table.rows, k, calib.dp_candidates, |k, j| cost.cost(k, j))
-            }
+            Some(k) => partition_bucketed_k(table.rows, k, calib.dp_candidates, |k, j| {
+                cost.cost(k, j).raw()
+            }),
             None => partition_bucketed(table.rows, calib.s_max, calib.dp_candidates, |k, j| {
-                cost.cost(k, j)
+                cost.cost(k, j).raw()
             }),
         };
 
@@ -393,8 +394,8 @@ fn plan_elastic_inner(
                 t_idx,
                 s_idx,
                 access.coverage(k, j) * n_t,
-                (j - k) * vector_bytes,
-                vector_bytes,
+                Bytes::of_u64((j - k) * vector_bytes),
+                Bytes::of_u64(vector_bytes),
             ));
         }
         table_plans.push(plan);

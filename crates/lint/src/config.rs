@@ -22,6 +22,9 @@ pub struct Config {
     /// Extra paths where wall-clock use is flagged even though they are
     /// not deterministic (benchmark fallbacks — must carry allow markers).
     pub wall_clock_extra: Vec<String>,
+    /// Files that have adopted er-units typed quantities: raw-f64
+    /// arithmetic on resource-named symbols (`unit_mixing`) is banned here.
+    pub units: Vec<String>,
     /// Paths the workspace walk skips entirely.
     pub skip: Vec<String>,
 }
@@ -43,6 +46,13 @@ impl Default for Config {
                 "crates/tensor/src/reduce.rs",
             ]),
             wall_clock_extra: strs(&["crates/bench"]),
+            units: strs(&[
+                "crates/partition/src/cost.rs",
+                "crates/partition/src/qps_model.rs",
+                "crates/cluster/src/hardware.rs",
+                "crates/cluster/src/hpa.rs",
+                "crates/model/src/flops.rs",
+            ]),
             skip: strs(&["vendor", "target", ".git", "crates/lint/tests/fixtures"]),
         }
     }
@@ -80,6 +90,7 @@ impl Config {
                 "serving" => cfg.serving = items,
                 "blessed_kernels" => cfg.blessed_kernels = items,
                 "wall_clock_extra" => cfg.wall_clock_extra = items,
+                "units" => cfg.units = items,
                 "skip" => cfg.skip = items,
                 other => {
                     return Err(format!(

@@ -1,0 +1,390 @@
+//! Phase 2: symbol table, intra-crate call graph, and graph-aware rules.
+//!
+//! The per-file rules in [`crate::rules`] see one token stream at a time;
+//! this module sees the whole workspace. It extracts every function
+//! definition (name, visibility, file, crate), records each function's
+//! outgoing calls and panic sites, and links calls *by name within a
+//! crate* — a deliberate over-approximation (no type resolution, so two
+//! same-named functions in one crate both receive the edge) that errs on
+//! the side of reporting.
+//!
+//! On top of the graph, `no_panic` is upgraded from "a panic token exists
+//! in this serving file" to "a panic site is *reachable through calls*
+//! from a public function in a serving-scope file". A multi-source BFS
+//! from all such roots yields a shortest call chain per reachable panic
+//! site, reported in the diagnostic (`serve -> helper -> inner`) so the
+//! reader sees how the hot path gets there, not just where it lands.
+//!
+//! [`check_workspace`] is the binary's entry point: per-file rules (minus
+//! the token-level `no_panic` scan) plus the graph pass, sorted into one
+//! deterministic diagnostic stream.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::config::Config;
+use crate::lexer::TokenKind;
+use crate::rules::{check_file_inner, is_test_or_tool_path, Diagnostic, FileContext};
+
+/// Tokens that look like `name(` without being calls.
+const NON_CALL_KEYWORDS: [&str; 14] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "as", "in", "move", "let", "else",
+    "break", "continue",
+];
+
+/// A `.unwrap()` / `.expect(..)` / `panic!`-family site inside a function
+/// body.
+#[derive(Debug, Clone)]
+struct PanicSite {
+    line: u32,
+    col: u32,
+    /// What the site spells, for the message (`` `.unwrap()` ``).
+    what: String,
+    /// Blessed by a `lint::allow(no_panic)` marker at the site.
+    suppressed: bool,
+}
+
+/// One function definition with its outgoing edges and panic sites.
+#[derive(Debug, Clone)]
+struct FnInfo {
+    name: String,
+    /// Workspace-relative file holding the definition.
+    path: String,
+    /// Crate the file belongs to (`crates/<name>/..` prefix).
+    krate: String,
+    /// Declared with a bare `pub` (scoped `pub(..)` counts as private).
+    is_pub: bool,
+    /// Names this function calls (free calls and method calls alike).
+    calls: BTreeSet<String>,
+    panics: Vec<PanicSite>,
+}
+
+/// Which crate a workspace-relative path belongs to, for intra-crate call
+/// linking. Top-level `src/`, `tests/`, etc. form one "workspace-root"
+/// crate.
+fn crate_of(path: &str) -> String {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("workspace-root")
+        .to_string()
+}
+
+/// True when the token before the `fn` keyword at `fn_ci` (skipping
+/// `const`/`async`/`unsafe`/`extern "abi"` qualifiers) is a bare `pub`.
+/// `pub(crate)`/`pub(super)` end on `)` and correctly read as private.
+fn is_pub_fn(ctx: &FileContext<'_>, fn_ci: usize) -> bool {
+    let mut j = fn_ci;
+    while j >= 1 {
+        let prev_kind = ctx.kind(j - 1);
+        let qualifier = prev_kind == TokenKind::Literal
+            || (prev_kind == TokenKind::Ident
+                && matches!(ctx.text(j - 1), "const" | "async" | "unsafe" | "extern"));
+        if !qualifier {
+            break;
+        }
+        j -= 1;
+    }
+    j >= 1 && ctx.is_ident(j - 1, "pub")
+}
+
+/// Extracts every function defined in `ctx`: a single pass over the code
+/// tokens tracking brace depth and a stack of open function bodies, so
+/// calls and panic sites land on the innermost enclosing function.
+/// `#[cfg(test)]` functions are dropped entirely.
+fn extract_fns(ctx: &FileContext<'_>) -> Vec<FnInfo> {
+    let n = ctx.code.len();
+    let krate = crate_of(&ctx.path);
+    let mut fns: Vec<FnInfo> = Vec::new();
+    let mut test_fn: Vec<bool> = Vec::new();
+    // (index into `fns`, brace depth of the body's opening `{`).
+    let mut stack: Vec<(usize, u32)> = Vec::new();
+    // A declared fn whose body `{` has not opened yet, with the paren
+    // depth accumulated since the declaration (the body brace sits at
+    // paren depth 0; a `;` there instead means a bodyless trait method).
+    let mut pending: Option<usize> = None;
+    let mut pending_paren: u32 = 0;
+    let mut depth: u32 = 0;
+
+    for ci in 0..n {
+        match ctx.kind(ci) {
+            TokenKind::Punct('(') if pending.is_some() => pending_paren += 1,
+            TokenKind::Punct(')') if pending.is_some() => {
+                pending_paren = pending_paren.saturating_sub(1);
+            }
+            TokenKind::Punct('{') => {
+                depth += 1;
+                if pending_paren == 0 {
+                    if let Some(fi) = pending.take() {
+                        stack.push((fi, depth));
+                    }
+                }
+            }
+            TokenKind::Punct('}') => {
+                if stack.last().is_some_and(|&(_, d)| d == depth) {
+                    stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            TokenKind::Punct(';') if pending_paren == 0 => pending = None,
+            _ => {}
+        }
+
+        // A new definition: `fn name` (a `fn(..)` pointer type has no
+        // name ident and falls through).
+        if ctx.is_ident(ci, "fn") && ci + 1 < n && ctx.kind(ci + 1) == TokenKind::Ident {
+            fns.push(FnInfo {
+                name: ctx.text(ci + 1).to_string(),
+                path: ctx.path.clone(),
+                krate: krate.clone(),
+                is_pub: is_pub_fn(ctx, ci),
+                calls: BTreeSet::new(),
+                panics: Vec::new(),
+            });
+            test_fn.push(ctx.is_test_token(ci));
+            pending = Some(fns.len() - 1);
+            pending_paren = 0;
+            continue;
+        }
+
+        let Some(&(cur, _)) = stack.last() else {
+            continue;
+        };
+        if ctx.is_test_token(ci) || ctx.kind(ci) != TokenKind::Ident {
+            continue;
+        }
+        let t = ctx.text(ci);
+        let next_is = |k: TokenKind| ci + 1 < n && ctx.kind(ci + 1) == k;
+        if (t == "unwrap" || t == "expect")
+            && ci >= 1
+            && ctx.kind(ci - 1) == TokenKind::Punct('.')
+            && next_is(TokenKind::Punct('('))
+        {
+            let tok = ctx.tok(ci);
+            fns[cur].panics.push(PanicSite {
+                line: tok.line,
+                col: tok.col,
+                what: format!("`.{t}()`"),
+                suppressed: ctx.suppressed(tok.line, "no_panic"),
+            });
+            continue;
+        }
+        if (t == "panic" || t == "todo" || t == "unimplemented") && next_is(TokenKind::Punct('!')) {
+            let tok = ctx.tok(ci);
+            fns[cur].panics.push(PanicSite {
+                line: tok.line,
+                col: tok.col,
+                what: format!("`{t}!`"),
+                suppressed: ctx.suppressed(tok.line, "no_panic"),
+            });
+            continue;
+        }
+        // A call: `name(..)` or `.name(..)`, but not `name!(..)` macros
+        // and not the name in a nested `fn name(` definition.
+        if next_is(TokenKind::Punct('('))
+            && !NON_CALL_KEYWORDS.contains(&t)
+            && !(ci >= 1 && ctx.is_ident(ci - 1, "fn"))
+        {
+            fns[cur].calls.insert(t.to_string());
+        }
+    }
+
+    fns.into_iter()
+        .zip(test_fn)
+        .filter(|(_, in_test)| !in_test)
+        .map(|(f, _)| f)
+        .collect()
+}
+
+/// Graph-aware `no_panic`: reports every unsuppressed panic site reachable
+/// through intra-crate calls from a `pub fn` defined in a serving-scope
+/// file, with the shortest call chain from that entry point.
+fn reachable_panics(files: &[FileContext<'_>], cfg: &Config) -> Vec<Diagnostic> {
+    let mut per_crate: BTreeMap<String, Vec<FnInfo>> = BTreeMap::new();
+    for ctx in files {
+        if is_test_or_tool_path(&ctx.path) {
+            continue;
+        }
+        for f in extract_fns(ctx) {
+            per_crate.entry(f.krate.clone()).or_default().push(f);
+        }
+    }
+
+    let mut out = Vec::new();
+    for fns in per_crate.values_mut() {
+        // Deterministic node order regardless of input file order.
+        fns.sort_by(|a, b| (&a.path, &a.name).cmp(&(&b.path, &b.name)));
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push(i);
+        }
+
+        // Multi-source BFS from the public serving entry points, keeping
+        // parent pointers for shortest-chain reconstruction.
+        let mut parent: Vec<Option<usize>> = vec![None; fns.len()];
+        let mut visited = vec![false; fns.len()];
+        let mut queue = VecDeque::new();
+        for (i, f) in fns.iter().enumerate() {
+            if f.is_pub && Config::in_paths(&f.path, &cfg.serving) {
+                visited[i] = true;
+                queue.push_back(i);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            for callee in &fns[i].calls {
+                for &j in by_name.get(callee.as_str()).into_iter().flatten() {
+                    if !visited[j] {
+                        visited[j] = true;
+                        parent[j] = Some(i);
+                        queue.push_back(j);
+                    }
+                }
+            }
+        }
+
+        for (i, f) in fns.iter().enumerate() {
+            if !visited[i] {
+                continue;
+            }
+            let mut chain = vec![f.name.clone()];
+            let mut at = i;
+            while let Some(p) = parent[at] {
+                chain.push(fns[p].name.clone());
+                at = p;
+            }
+            chain.reverse();
+            let root = chain[0].clone();
+            let via = chain.join(" -> ");
+            for site in f.panics.iter().filter(|s| !s.suppressed) {
+                out.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: site.line,
+                    col: site.col,
+                    rule: "no_panic",
+                    message: format!(
+                        "{} can panic and is reachable from public serving fn `{root}` via {via}; return a typed error up the chain, or add `// lint::allow(no_panic): <invariant>` at the site",
+                        site.what
+                    ),
+                    chain: chain.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Lints the workspace as one unit: every per-file rule plus the
+/// call-graph `no_panic` pass, in one deterministically sorted stream.
+pub fn check_workspace(files: &[FileContext<'_>], cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for ctx in files {
+        out.extend(check_file_inner(ctx, cfg, false));
+    }
+    out.extend(reachable_panics(files, cfg));
+    out.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workspace(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ctxs: Vec<FileContext<'_>> =
+            files.iter().map(|&(p, s)| FileContext::new(p, s)).collect();
+        check_workspace(&ctxs, &Config::default())
+    }
+
+    #[test]
+    fn panic_reachable_through_two_hops_reports_the_chain() {
+        let src = "\
+pub fn serve(x: Option<u32>) -> u32 { helper(x) }
+fn helper(x: Option<u32>) -> u32 { inner(x) }
+fn inner(x: Option<u32>) -> u32 { x.unwrap() }
+";
+        let d = workspace(&[("crates/rpc/src/balancer.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].rule, "no_panic");
+        assert_eq!(d[0].line, 3);
+        assert_eq!(d[0].chain, vec!["serve", "helper", "inner"]);
+        assert!(d[0].message.contains("serve -> helper -> inner"));
+    }
+
+    #[test]
+    fn unreachable_private_panic_is_not_reported() {
+        let src = "\
+pub fn serve() -> u32 { 1 }
+fn dead(x: Option<u32>) -> u32 { x.unwrap() }
+";
+        let d = workspace(&[("crates/rpc/src/balancer.rs", src)]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn reachability_crosses_files_within_a_crate_but_not_crates() {
+        let entry = "pub fn serve(x: Option<u32>) -> u32 { shared_helper(x) }";
+        let helper = "pub(crate) fn shared_helper(x: Option<u32>) -> u32 { x.unwrap() }";
+        // Same crate: the chain crosses the file boundary.
+        let d = workspace(&[
+            ("crates/rpc/src/server.rs", entry),
+            ("crates/rpc/src/util.rs", helper),
+        ]);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].path, "crates/rpc/src/util.rs");
+        assert_eq!(d[0].chain, vec!["serve", "shared_helper"]);
+        // Different crates: no edge, no report (and `shared_helper` is
+        // `pub(crate)`, so it is not a root on its own).
+        let d = workspace(&[
+            ("crates/rpc/src/server.rs", entry),
+            ("crates/metrics/src/util.rs", helper),
+        ]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn allow_marker_suppresses_the_reachable_site() {
+        let src = "\
+pub fn serve(x: Option<u32>) -> u32 {
+    // lint::allow(no_panic): validated by the planner before dispatch
+    x.unwrap()
+}
+";
+        let d = workspace(&[("crates/rpc/src/balancer.rs", src)]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn pub_fn_with_direct_panic_has_a_single_link_chain() {
+        let src = "pub fn serve() { panic!(\"boom\") }";
+        let d = workspace(&[("crates/model/src/dlrm.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].chain, vec!["serve"]);
+    }
+
+    #[test]
+    fn test_functions_and_tool_files_stay_out_of_the_graph() {
+        let src = "\
+pub fn serve(x: Option<u32>) -> u32 { x.unwrap_or(0) }
+
+#[cfg(test)]
+mod tests {
+    fn serve_helper(x: Option<u32>) -> u32 { x.unwrap() }
+}
+";
+        assert!(workspace(&[("crates/rpc/src/server.rs", src)]).is_empty());
+        let bad = "pub fn serve(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(workspace(&[("crates/rpc/tests/it.rs", bad)]).is_empty());
+    }
+
+    #[test]
+    fn method_calls_link_by_name() {
+        let src = "\
+pub fn serve(b: Balancer) -> u32 { b.pick() }
+struct Balancer;
+impl Balancer {
+    fn pick(&self) -> u32 { panic!(\"empty\") }
+}
+";
+        let d = workspace(&[("crates/rpc/src/balancer.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].chain, vec!["serve", "pick"]);
+    }
+}

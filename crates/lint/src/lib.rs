@@ -14,13 +14,20 @@
 //! | `ambient_rng` | deterministic paths | `thread_rng`, `from_entropy`, `rand::random` |
 //! | `env_io` | deterministic paths | `env::var` and friends |
 //! | `hashmap_iter` | deterministic paths | iteration over `HashMap`/`HashSet` bindings |
-//! | `no_panic` | serving hot path | `unwrap` / `expect` / `panic!` in non-test library code |
+//! | `no_panic` | serving hot path | panics *reachable through the call graph* from a public serving fn |
 //! | `float_reduction` | serving minus blessed kernels | ad-hoc `sum::<f32>` / `product::<f32>` |
+//! | `unit_mixing` | er-units adopter files | raw-f64 arithmetic on resource-named symbols |
 //!
 //! Scopes are path prefixes configured in `er-lint.toml` (see
 //! [`Config`]); intentional exceptions carry a
 //! `// lint::allow(rule): reason` marker. The repo is offline, so the
 //! lexer is hand-rolled ([`lexer`]) — no `syn`, no dependencies at all.
+//!
+//! The analysis runs in two phases. Phase 1 ([`check_file`]) is the
+//! per-file token scan; phase 2 ([`check_workspace`]) additionally builds
+//! an intra-crate call graph ([`graph`]) so `no_panic` reports the call
+//! chain from the public entry point to the panic site, and private
+//! helpers only trip it when a serving path can actually reach them.
 //!
 //! # Examples
 //!
@@ -37,9 +44,11 @@
 #![deny(missing_debug_implementations, unreachable_pub, missing_docs)]
 
 pub mod config;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
 pub mod walk;
 
 pub use config::Config;
+pub use graph::check_workspace;
 pub use rules::{check_file, Diagnostic, FileContext};

@@ -2,64 +2,189 @@
 //! nonzero on any violation.
 //!
 //! ```text
-//! er-lint [ROOT]   # ROOT defaults to the current directory
+//! er-lint [--format json|text] [--only PREFIX]... [ROOT]
 //! ```
 //!
-//! Reads `ROOT/er-lint.toml` when present (see [`er_lint::Config`]); every
-//! diagnostic prints as `path:line:col: [rule] message`.
+//! `ROOT` defaults to the current directory. The whole workspace is always
+//! scanned (the call graph needs every file); `--only` filters which
+//! diagnostics are *reported* by path prefix — useful for focused gates
+//! like the CI self-check over `crates/lint` and `crates/units`.
+//!
+//! Reads `ROOT/er-lint.toml` when present (see [`er_lint::Config`]). Text
+//! output prints `path:line:col: [rule] message` per violation; JSON output
+//! prints one stable array of `{"rule", "path", "line", "col", "message",
+//! "chain"}` objects to stdout. A per-rule count summary always goes to
+//! stderr.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use er_lint::{check_file, walk, Config, FileContext};
+use er_lint::{check_workspace, walk, Config, Diagnostic, FileContext};
+
+/// Every rule the engine can emit, for the stable per-rule summary.
+const RULES: [&str; 7] = [
+    "wall_clock",
+    "ambient_rng",
+    "env_io",
+    "hashmap_iter",
+    "no_panic",
+    "float_reduction",
+    "unit_mixing",
+];
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    only: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        only: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                other => return Err(format!("--format takes `json` or `text`, got {other:?}")),
+            },
+            "--only" => match it.next() {
+                Some(prefix) => args.only.push(prefix),
+                None => return Err("--only needs a path prefix".into()),
+            },
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            root => args.root = PathBuf::from(root),
+        }
+    }
+    Ok(args)
+}
+
+fn json_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The stable machine-readable schema: an array of objects with exactly
+/// the keys `rule`, `path`, `line`, `col`, `message`, `chain`.
+fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("  {\"rule\": ");
+        json_escaped(d.rule, &mut out);
+        out.push_str(", \"path\": ");
+        json_escaped(&d.path, &mut out);
+        out.push_str(&format!(
+            ", \"line\": {}, \"col\": {}, \"message\": ",
+            d.line, d.col
+        ));
+        json_escaped(&d.message, &mut out);
+        out.push_str(", \"chain\": [");
+        for (j, link) in d.chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            json_escaped(link, &mut out);
+        }
+        out.push_str("]}");
+        out.push_str(if i + 1 < diags.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out
+}
 
 fn main() -> ExitCode {
-    let root = PathBuf::from(std::env::args().nth(1).unwrap_or_else(|| ".".into()));
-    let cfg = match load_config(&root) {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("er-lint: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match load_config(&args.root) {
         Ok(cfg) => cfg,
         Err(msg) => {
             eprintln!("er-lint: {msg}");
             return ExitCode::FAILURE;
         }
     };
-    let files = match walk::rust_files(&root, &cfg) {
+    let files = match walk::rust_files(&args.root, &cfg) {
         Ok(files) => files,
         Err(e) => {
-            eprintln!("er-lint: walking {}: {e}", root.display());
+            eprintln!("er-lint: walking {}: {e}", args.root.display());
             return ExitCode::FAILURE;
         }
     };
 
-    let mut violations = 0usize;
-    let mut files_with = 0usize;
+    // Read every source first: FileContext borrows, and the call graph
+    // wants the whole workspace at once.
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in &files {
-        let Ok(src) = std::fs::read_to_string(path) else {
-            // Non-UTF-8 or unreadable: nothing for a Rust lexer to do.
-            continue;
-        };
-        let rel = walk::relative(&root, path);
-        let ctx = FileContext::new(rel, &src);
-        let diags = check_file(&ctx, &cfg);
-        if !diags.is_empty() {
-            files_with += 1;
-            violations += diags.len();
-            for d in &diags {
-                println!("{d}");
-            }
+        // Non-UTF-8 or unreadable: nothing for a Rust lexer to do.
+        if let Ok(src) = std::fs::read_to_string(path) {
+            sources.push((walk::relative(&args.root, path), src));
+        }
+    }
+    let ctxs: Vec<FileContext<'_>> = sources
+        .iter()
+        .map(|(rel, src)| FileContext::new(rel.clone(), src))
+        .collect();
+
+    let mut diags = check_workspace(&ctxs, &cfg);
+    if !args.only.is_empty() {
+        diags.retain(|d| {
+            args.only
+                .iter()
+                .any(|p| Config::in_paths(&d.path, std::slice::from_ref(p)))
+        });
+    }
+
+    if args.json {
+        println!("{}", render_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
         }
     }
 
-    if violations > 0 {
+    let mut summary = String::new();
+    for rule in RULES {
+        let count = diags.iter().filter(|d| d.rule == rule).count();
+        summary.push_str(&format!(" {rule}={count}"));
+    }
+    eprintln!("er-lint: per-rule:{summary}");
+
+    if diags.is_empty() {
+        eprintln!("er-lint: OK — {} files scanned, 0 violations", ctxs.len());
+        ExitCode::SUCCESS
+    } else {
+        let files_with: std::collections::BTreeSet<&str> =
+            diags.iter().map(|d| d.path.as_str()).collect();
         eprintln!(
-            "er-lint: FAIL — {violations} violation(s) in {files_with} file(s) ({} scanned)",
-            files.len()
+            "er-lint: FAIL — {} violation(s) in {} file(s) ({} scanned)",
+            diags.len(),
+            files_with.len(),
+            ctxs.len()
         );
         ExitCode::FAILURE
-    } else {
-        eprintln!("er-lint: OK — {} files scanned, 0 violations", files.len());
-        ExitCode::SUCCESS
     }
 }
 

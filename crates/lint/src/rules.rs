@@ -28,6 +28,10 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Human-readable explanation with the suggested fix.
     pub message: String,
+    /// For call-graph rules, the function chain from the public entry
+    /// point to the function containing the match (`["serve", "helper",
+    /// "inner"]`). Empty for per-file token rules.
+    pub chain: Vec<String>,
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -50,7 +54,7 @@ pub struct FileContext<'a> {
     /// All tokens, comments included.
     pub tokens: Vec<Token>,
     /// Indices (into `tokens`) of non-comment tokens, in order.
-    code: Vec<usize>,
+    pub(crate) code: Vec<usize>,
     /// `in_test[i]` is true when `tokens[i]` sits inside a `#[cfg(test)]`
     /// item.
     in_test: Vec<bool>,
@@ -80,27 +84,27 @@ impl<'a> FileContext<'a> {
         }
     }
 
-    fn text(&self, code_idx: usize) -> &str {
+    pub(crate) fn text(&self, code_idx: usize) -> &str {
         self.tokens[self.code[code_idx]].text(self.src)
     }
 
-    fn kind(&self, code_idx: usize) -> TokenKind {
+    pub(crate) fn kind(&self, code_idx: usize) -> TokenKind {
         self.tokens[self.code[code_idx]].kind
     }
 
-    fn tok(&self, code_idx: usize) -> &Token {
+    pub(crate) fn tok(&self, code_idx: usize) -> &Token {
         &self.tokens[self.code[code_idx]]
     }
 
-    fn is_test_token(&self, code_idx: usize) -> bool {
+    pub(crate) fn is_test_token(&self, code_idx: usize) -> bool {
         self.in_test[self.code[code_idx]]
     }
 
-    fn is_ident(&self, code_idx: usize, name: &str) -> bool {
+    pub(crate) fn is_ident(&self, code_idx: usize, name: &str) -> bool {
         self.kind(code_idx) == TokenKind::Ident && self.text(code_idx) == name
     }
 
-    fn suppressed(&self, line: u32, rule: &str) -> bool {
+    pub(crate) fn suppressed(&self, line: u32, rule: &str) -> bool {
         self.allows
             .get(&line)
             .is_some_and(|set| set.contains(rule) || set.contains("all"))
@@ -245,8 +249,22 @@ pub fn is_test_or_tool_path(path: &str) -> bool {
         .any(|seg| p.contains(seg))
 }
 
-/// Runs every applicable rule over one file.
+/// Runs every applicable per-file rule over one file, `no_panic` as a
+/// plain token scan. The workspace entry point
+/// [`crate::graph::check_workspace`] runs the same rules but replaces the
+/// token scan with call-graph reachability from public serving functions.
 pub fn check_file(ctx: &FileContext<'_>, cfg: &Config) -> Vec<Diagnostic> {
+    check_file_inner(ctx, cfg, true)
+}
+
+/// The per-file rule pass. With `token_no_panic` false the token-level
+/// `no_panic` scan is skipped (the caller supplies the call-graph version
+/// instead).
+pub(crate) fn check_file_inner(
+    ctx: &FileContext<'_>,
+    cfg: &Config,
+    token_no_panic: bool,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let det = Config::in_paths(&ctx.path, &cfg.deterministic);
     let serving = Config::in_paths(&ctx.path, &cfg.serving);
@@ -262,10 +280,15 @@ pub fn check_file(ctx: &FileContext<'_>, cfg: &Config) -> Vec<Diagnostic> {
         hashmap_iter(ctx, &mut out);
     }
     if serving && !tool {
-        no_panic(ctx, &mut out);
+        if token_no_panic {
+            no_panic(ctx, &mut out);
+        }
         if !blessed {
             float_reduction(ctx, &mut out);
         }
+    }
+    if Config::in_paths(&ctx.path, &cfg.units) && !blessed && !tool {
+        unit_mixing(ctx, &mut out);
     }
     out.retain(|d| !ctx.suppressed(d.line, d.rule));
     out
@@ -285,6 +308,7 @@ fn push(
         col: t.col,
         rule,
         message: msg,
+        chain: Vec::new(),
     });
 }
 
@@ -528,6 +552,265 @@ fn float_reduction(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// The physical dimension a resource-named identifier carries, inferred
+/// from its name suffix. This is the er-units catalogue plus the two time
+/// scales (`_ms`, `_us`) whose mixing with `_secs` the rule exists to
+/// catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dim {
+    Bytes,
+    Flops,
+    Secs,
+    Millis,
+    Micros,
+    Qps,
+    Cores,
+    BytesPerSec,
+    FlopsPerSec,
+}
+
+impl Dim {
+    fn label(self) -> &'static str {
+        match self {
+            Dim::Bytes => "bytes",
+            Dim::Flops => "flops",
+            Dim::Secs => "seconds",
+            Dim::Millis => "milliseconds",
+            Dim::Micros => "microseconds",
+            Dim::Qps => "queries/sec",
+            Dim::Cores => "cores",
+            Dim::BytesPerSec => "bytes/sec",
+            Dim::FlopsPerSec => "flops/sec",
+        }
+    }
+
+    fn is_time(self) -> bool {
+        matches!(self, Dim::Secs | Dim::Millis | Dim::Micros)
+    }
+}
+
+/// Infers a dimension from an identifier's name, most specific suffix
+/// first (`bytes_per_sec` before `bytes`). Returns `None` for names that
+/// carry no resource dimension.
+fn dim_of(ident: &str) -> Option<Dim> {
+    let s = ident.to_ascii_lowercase();
+    if s.ends_with("bytes_per_sec") || s.ends_with("_bw") || s == "bw" || s.contains("bandwidth") {
+        return Some(Dim::BytesPerSec);
+    }
+    if s.ends_with("flops_per_sec") {
+        return Some(Dim::FlopsPerSec);
+    }
+    if s.ends_with("flops") {
+        return Some(Dim::Flops);
+    }
+    if s.ends_with("bytes") {
+        return Some(Dim::Bytes);
+    }
+    if s.ends_with("secs") || s.ends_with("latency") {
+        return Some(Dim::Secs);
+    }
+    if s.ends_with("_ms") || s.ends_with("millis") {
+        return Some(Dim::Millis);
+    }
+    if s.ends_with("_us") || s.ends_with("micros") {
+        return Some(Dim::Micros);
+    }
+    if s.ends_with("qps") {
+        return Some(Dim::Qps);
+    }
+    if s.ends_with("cores") {
+        return Some(Dim::Cores);
+    }
+    None
+}
+
+/// Raw numeric types whose use on a dimension-named slot defeats er-units.
+const RAW_NUMERIC: [&str; 10] = [
+    "f64", "f32", "u64", "u32", "u16", "usize", "i64", "i32", "i16", "isize",
+];
+
+/// Resolves the operand ending at code index `ci` (its final `Ident`):
+/// `self.policy.tolerance` resolves to `tolerance`. Returns the name and
+/// dimension, or `None` when the final segment carries no dimension or
+/// the operand participates in a higher-precedence `*`/`/` (so this rule
+/// cannot tell what the `+`/`-` actually combines).
+fn operand_before<'a>(ctx: &'a FileContext<'_>, op: usize) -> Option<(&'a str, Dim)> {
+    if op == 0 || ctx.kind(op - 1) != TokenKind::Ident {
+        return None;
+    }
+    let name = ctx.text(op - 1);
+    let dim = dim_of(name)?;
+    // Walk to the chain head over `a.b` / `a::b` segments.
+    let mut head = op - 1;
+    while head >= 2
+        && matches!(
+            ctx.kind(head - 1),
+            TokenKind::Punct('.') | TokenKind::PathSep
+        )
+        && ctx.kind(head - 2) == TokenKind::Ident
+    {
+        head -= 2;
+    }
+    if head >= 1
+        && matches!(
+            ctx.kind(head - 1),
+            TokenKind::Punct('*') | TokenKind::Punct('/')
+        )
+    {
+        return None;
+    }
+    Some((name, dim))
+}
+
+/// Resolves the operand starting at code index `start`: walks forward over
+/// `a.b` / `a::b` segments and dimensions the final identifier. `None` for
+/// calls (`name(..)` — the return type is unknown) and for operands feeding
+/// a higher-precedence `*`/`/`.
+fn operand_after<'a>(ctx: &'a FileContext<'_>, start: usize) -> Option<(&'a str, Dim)> {
+    let n = ctx.code.len();
+    if start >= n || ctx.kind(start) != TokenKind::Ident {
+        return None;
+    }
+    let mut i = start;
+    while i + 2 < n
+        && matches!(ctx.kind(i + 1), TokenKind::Punct('.') | TokenKind::PathSep)
+        && ctx.kind(i + 2) == TokenKind::Ident
+    {
+        i += 2;
+    }
+    let name = ctx.text(i);
+    let dim = dim_of(name)?;
+    if i + 1 < n
+        && matches!(
+            ctx.kind(i + 1),
+            TokenKind::Punct('(') | TokenKind::Punct('*') | TokenKind::Punct('/')
+        )
+    {
+        return None;
+    }
+    Some((name, dim))
+}
+
+/// `unit_mixing`: raw-f64 arithmetic on resource-named symbols in files
+/// that have adopted er-units. Four shapes:
+///
+/// 1. declaring a dimension-named slot with a raw numeric type
+///    (`shard_bytes: f64`) instead of the er-units newtype;
+/// 2. adding/subtracting identifiers of *different* dimensions
+///    (`shard_bytes + dense_flops`, `p95_ms - budget_secs`);
+/// 3. multiplying a QPS by a latency — the Little's-law in-flight count
+///    er-units deliberately refuses to express implicitly;
+/// 4. casting a dimension-named identifier to a raw numeric
+///    (`shard_bytes as f64`) instead of calling `.raw()`.
+fn unit_mixing(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    let n = ctx.code.len();
+    for ci in 0..n {
+        if ctx.is_test_token(ci) {
+            continue;
+        }
+        // Shapes 1 and 4 anchor on the dimension-named identifier.
+        if ctx.kind(ci) == TokenKind::Ident {
+            if let Some(dim) = dim_of(ctx.text(ci)) {
+                let name = ctx.text(ci);
+                // 1. `name: [Option<] f64`.
+                if ci + 2 < n && ctx.kind(ci + 1) == TokenKind::Punct(':') {
+                    let mut j = ci + 2;
+                    if ctx.is_ident(j, "Option")
+                        && j + 2 < n
+                        && ctx.kind(j + 1) == TokenKind::Punct('<')
+                    {
+                        j += 2;
+                    }
+                    if ctx.kind(j) == TokenKind::Ident && RAW_NUMERIC.contains(&ctx.text(j)) {
+                        push(
+                            out,
+                            ctx,
+                            ci,
+                            "unit_mixing",
+                            format!(
+                                "`{name}` carries a dimension ({}) but is declared as raw `{}`; use the er-units newtype",
+                                dim.label(),
+                                ctx.text(j)
+                            ),
+                        );
+                    }
+                }
+                // 4. `name as f64`.
+                if ci + 2 < n
+                    && ctx.is_ident(ci + 1, "as")
+                    && ctx.kind(ci + 2) == TokenKind::Ident
+                    && RAW_NUMERIC.contains(&ctx.text(ci + 2))
+                {
+                    push(
+                        out,
+                        ctx,
+                        ci,
+                        "unit_mixing",
+                        format!(
+                            "`{name} as {}` strips the {} dimension; convert explicitly via `.raw()`",
+                            ctx.text(ci + 2),
+                            dim.label()
+                        ),
+                    );
+                }
+            }
+        }
+        // Shapes 2 and 3 anchor on the operator.
+        let (op, is_mul) = match ctx.kind(ci) {
+            TokenKind::Punct('+') => ('+', false),
+            TokenKind::Punct('-') => ('-', false),
+            TokenKind::Punct('*') => ('*', true),
+            _ => continue,
+        };
+        // `->` is the return-type arrow, not a subtraction.
+        if op == '-' && ci + 1 < n && ctx.kind(ci + 1) == TokenKind::Punct('>') {
+            continue;
+        }
+        // Compound assignment `+=` / `-=` / `*=`: the right operand starts
+        // after the `=`.
+        let rhs = if ci + 1 < n && ctx.kind(ci + 1) == TokenKind::Punct('=') {
+            ci + 2
+        } else {
+            ci + 1
+        };
+        let Some((lname, ldim)) = operand_before(ctx, ci) else {
+            continue;
+        };
+        let Some((rname, rdim)) = operand_after(ctx, rhs) else {
+            continue;
+        };
+        if is_mul {
+            // 3. QPS × latency.
+            if (ldim == Dim::Qps && rdim.is_time()) || (rdim == Dim::Qps && ldim.is_time()) {
+                push(
+                    out,
+                    ctx,
+                    ci,
+                    "unit_mixing",
+                    format!(
+                        "`{lname} * {rname}` multiplies {} by {} — an implicit Little's-law in-flight count er-units refuses to express; compute it explicitly from `.raw()` values",
+                        ldim.label(),
+                        rdim.label()
+                    ),
+                );
+            }
+        } else if ldim != rdim {
+            // 2. Cross-dimension addition/subtraction.
+            push(
+                out,
+                ctx,
+                ci,
+                "unit_mixing",
+                format!(
+                    "`{lname} {op} {rname}` mixes {} with {}; convert to one er-units dimension first",
+                    ldim.label(),
+                    rdim.label()
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -655,6 +938,62 @@ impl S {
     fn strings_and_raw_strings_never_match_rules() {
         let src = r##"pub fn f() -> &'static str { r#"Instant::now() .unwrap() panic!"# }"##;
         assert!(check("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unit_mixing_flags_cross_dimension_addition() {
+        let src = "pub fn f(a: Bytes, b: Flops) -> f64 { a.raw() + shard_bytes - dense_flops }";
+        // Only identifiers with dimension suffixes participate; `a.raw()`
+        // ends in `)` so the `+` has no resolvable left operand, while
+        // `shard_bytes - dense_flops` mixes bytes with flops.
+        let d = check("crates/partition/src/cost.rs", src);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].rule, "unit_mixing");
+        assert!(d[0].message.contains("bytes"), "{}", d[0].message);
+        assert!(d[0].message.contains("flops"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn unit_mixing_flags_raw_decls_and_casts() {
+        let src = "\
+struct S { shard_bytes: f64 }
+fn f(s: &S) -> u64 { s.shard_bytes as u64 }
+";
+        let d = check("crates/partition/src/cost.rs", src);
+        let rules: Vec<_> = d.iter().map(|x| (x.rule, x.line)).collect();
+        assert_eq!(
+            rules,
+            vec![("unit_mixing", 1), ("unit_mixing", 2)],
+            "{d:#?}"
+        );
+    }
+
+    #[test]
+    fn unit_mixing_flags_qps_times_latency() {
+        let src = "fn f(load_qps: Qps, p95_latency: Secs) -> f64 { load_qps * p95_latency }";
+        let d = check("crates/cluster/src/hpa.rs", src);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert!(d[0].message.contains("Little"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn unit_mixing_ignores_same_dimension_and_unknown_operands() {
+        // Same dimension adds, dimensionless names, and typed decls are
+        // all fine; higher-precedence `*`/`/` neighbours disable the
+        // `+`/`-` check rather than mis-attributing operands.
+        let ok = "\
+fn f(a_bytes: Bytes, b_bytes: Bytes, gathers: f64) -> Bytes {
+    a_bytes + b_bytes * gathers / bandwidth
+}
+";
+        assert!(check("crates/partition/src/qps_model.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn unit_mixing_only_applies_to_adopter_files() {
+        let src = "fn f(shard_bytes: f64, dense_flops: f64) -> f64 { shard_bytes + dense_flops }";
+        assert!(check("crates/core/src/engine.rs", src).is_empty());
+        assert_eq!(check("crates/model/src/flops.rs", src).len(), 3);
     }
 
     #[test]

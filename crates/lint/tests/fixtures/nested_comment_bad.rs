@@ -1,0 +1,8 @@
+//! Fixture: nested block comments must not derail the lexer. A naive
+//! scanner closes the comment at the first `*/` and reads the bait as
+//! code; the real violation comes after the (fully closed) comment.
+
+/* outer /* inner bait: x.unwrap() and panic!("no") */ still commented */
+pub fn serve(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

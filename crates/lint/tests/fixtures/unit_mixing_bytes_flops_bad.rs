@@ -1,0 +1,7 @@
+//! Fixture: bytes + flops — the canonical dimensional-analysis bug the
+//! er-units newtypes make unrepresentable, written in raw f64.
+
+pub fn total_work(shard_bytes: f64, dense_flops: f64) -> f64 {
+    // Adding a memory footprint to a compute count is meaningless.
+    shard_bytes + dense_flops
+}

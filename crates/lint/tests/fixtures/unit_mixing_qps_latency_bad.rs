@@ -1,0 +1,7 @@
+//! Fixture: QPS × latency — Little's law in disguise. The product is a
+//! dimensionless in-flight count, which er-units deliberately refuses to
+//! express as an implicit `Mul`; spelling it in raw f64 must be flagged.
+
+pub fn inflight(load_qps: f64, p95_latency: f64) -> f64 {
+    load_qps * p95_latency
+}

@@ -1,0 +1,7 @@
+//! Fixture: milliseconds mixed with seconds — same physical dimension,
+//! different scale, silently off by 1000x in raw f64.
+
+pub fn slo_margin(p95_ms: f64, budget_secs: f64) -> f64 {
+    // A millisecond reading subtracted from a second budget.
+    budget_secs - p95_ms
+}

@@ -3,11 +3,18 @@
 //! rule in question — positive fixtures must produce the expected
 //! diagnostics, allowlisted fixtures must come back clean.
 
-use er_lint::{check_file, Config, Diagnostic, FileContext};
+use er_lint::{check_file, check_workspace, Config, Diagnostic, FileContext};
 
 fn check(path_class: &str, src: &str) -> Vec<Diagnostic> {
     let ctx = FileContext::new(path_class, src);
     check_file(&ctx, &Config::default())
+}
+
+/// The phase-2 path: the same source checked as the whole workspace, so
+/// the call-graph `no_panic` replaces the token scan.
+fn check_graph(path_class: &str, src: &str) -> Vec<Diagnostic> {
+    let ctx = FileContext::new(path_class, src);
+    check_workspace(std::slice::from_ref(&ctx), &Config::default())
 }
 
 fn rules_and_lines(diags: &[Diagnostic]) -> Vec<(&'static str, u32)> {
@@ -113,4 +120,158 @@ fn config_override_can_extend_a_scope() {
     let ctx = FileContext::new("crates/metrics/src/qps.rs", src);
     let diags = check_file(&ctx, &cfg);
     assert_eq!(diags.len(), 2);
+}
+
+#[test]
+fn unit_mixing_bytes_flops_fixture_flags_decls_and_the_add() {
+    let src = include_str!("fixtures/unit_mixing_bytes_flops_bad.rs");
+    let diags = check("crates/partition/src/cost.rs", src);
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![
+            ("unit_mixing", 4), // shard_bytes: f64
+            ("unit_mixing", 4), // dense_flops: f64
+            ("unit_mixing", 6), // bytes + flops
+        ],
+        "{diags:#?}"
+    );
+    assert!(diags[2].message.contains("bytes"), "{}", diags[2].message);
+    assert!(diags[2].message.contains("flops"), "{}", diags[2].message);
+}
+
+#[test]
+fn unit_mixing_time_fixture_flags_the_ms_secs_mix() {
+    let src = include_str!("fixtures/unit_mixing_time_bad.rs");
+    let diags = check("crates/cluster/src/hpa.rs", src);
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![
+            ("unit_mixing", 4), // p95_ms: f64
+            ("unit_mixing", 4), // budget_secs: f64
+            ("unit_mixing", 6), // secs - ms
+        ],
+        "{diags:#?}"
+    );
+    assert!(
+        diags[2].message.contains("milliseconds"),
+        "{}",
+        diags[2].message
+    );
+}
+
+#[test]
+fn unit_mixing_qps_latency_fixture_flags_the_littles_law_product() {
+    let src = include_str!("fixtures/unit_mixing_qps_latency_bad.rs");
+    let diags = check("crates/cluster/src/hpa.rs", src);
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![
+            ("unit_mixing", 5), // load_qps: f64
+            ("unit_mixing", 5), // p95_latency: f64
+            ("unit_mixing", 6), // qps * latency
+        ],
+        "{diags:#?}"
+    );
+    assert!(diags[2].message.contains("Little"), "{}", diags[2].message);
+}
+
+#[test]
+fn panic_reach_fixture_reports_the_cross_function_chain() {
+    let src = include_str!("fixtures/panic_reach_bad.rs");
+    let diags = check_graph("crates/rpc/src/panic_reach_bad.rs", src);
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![("no_panic", 15)],
+        "{diags:#?}"
+    );
+    assert_eq!(diags[0].chain, vec!["serve", "helper", "inner"]);
+    assert!(
+        diags[0].message.contains("serve -> helper -> inner"),
+        "{}",
+        diags[0].message
+    );
+    // The token-level scan sees the same site but knows no chain.
+    let token = check("crates/rpc/src/panic_reach_bad.rs", src);
+    assert_eq!(rules_and_lines(&token), vec![("no_panic", 15)]);
+    assert!(token[0].chain.is_empty());
+}
+
+#[test]
+fn raw_string_trap_fixture_flags_the_real_unwrap_not_the_bait() {
+    let src = include_str!("fixtures/raw_string_trap_bad.rs");
+    let diags = check_graph("crates/rpc/src/raw_string_trap_bad.rs", src);
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![("no_panic", 11)],
+        "{diags:#?}"
+    );
+    assert_eq!(diags[0].chain, vec!["serve"]);
+}
+
+#[test]
+fn nested_comment_fixture_flags_the_real_unwrap_not_the_bait() {
+    let src = include_str!("fixtures/nested_comment_bad.rs");
+    let diags = check_graph("crates/rpc/src/nested_comment_bad.rs", src);
+    assert_eq!(rules_and_lines(&diags), vec![("no_panic", 7)], "{diags:#?}");
+    assert_eq!(diags[0].chain, vec!["serve"]);
+}
+
+/// Every `*_bad.rs` fixture must be covered by an exact-expectation test
+/// above AND must produce at least one diagnostic under its designated
+/// path class — so adding a fixture without wiring its expectations fails
+/// CI rather than rotting silently.
+#[test]
+fn every_bad_fixture_is_wired_to_expectations() {
+    // fixture file -> (path class it is checked under, graph pass?, count).
+    let expected: &[(&str, &str, bool, usize)] = &[
+        ("wall_clock_bad.rs", "crates/sim/src/f.rs", false, 2),
+        ("hashmap_iter_bad.rs", "crates/sim/src/f.rs", false, 3),
+        ("no_panic_bad.rs", "crates/rpc/src/f.rs", false, 3),
+        ("float_reduction_bad.rs", "crates/model/src/f.rs", false, 2),
+        ("ambient_bad.rs", "crates/partition/src/f.rs", false, 2),
+        (
+            "unit_mixing_bytes_flops_bad.rs",
+            "crates/partition/src/cost.rs",
+            false,
+            3,
+        ),
+        (
+            "unit_mixing_time_bad.rs",
+            "crates/cluster/src/hpa.rs",
+            false,
+            3,
+        ),
+        (
+            "unit_mixing_qps_latency_bad.rs",
+            "crates/cluster/src/hpa.rs",
+            false,
+            3,
+        ),
+        ("panic_reach_bad.rs", "crates/rpc/src/f.rs", true, 1),
+        ("raw_string_trap_bad.rs", "crates/rpc/src/f.rs", true, 1),
+        ("nested_comment_bad.rs", "crates/rpc/src/f.rs", true, 1),
+    ];
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with("_bad.rs"))
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = expected.iter().map(|(n, ..)| n.to_string()).collect();
+    listed.sort();
+    assert_eq!(
+        on_disk, listed,
+        "every *_bad.rs fixture needs an entry here (and a matching exact test)"
+    );
+    for (name, class, graph, count) in expected {
+        let src = std::fs::read_to_string(dir.join(name)).expect("fixture readable");
+        let diags = if *graph {
+            check_graph(class, &src)
+        } else {
+            check(class, &src)
+        };
+        assert_eq!(diags.len(), *count, "{name} under {class}: {diags:#?}");
+    }
 }

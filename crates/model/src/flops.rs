@@ -1,5 +1,6 @@
 //! FLOP and memory accounting — the numbers behind the paper's Figure 3.
 
+use er_units::{Bytes, Flops};
 use serde::{Deserialize, Serialize};
 
 use crate::interaction::interaction_flops;
@@ -9,11 +10,11 @@ use crate::ModelConfig;
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct LayerCosts {
     /// Forward-pass floating point operations.
-    pub flops: u64,
-    /// Parameter storage in bytes.
-    pub param_bytes: u64,
-    /// Bytes moved from memory to compute during the pass.
-    pub bytes_read: u64,
+    pub flops: Flops,
+    /// Parameter storage.
+    pub param_bytes: Bytes,
+    /// Data moved from memory to compute during the pass.
+    pub bytes_read: Bytes,
 }
 
 /// The dense-vs-sparse breakdown for one model configuration.
@@ -40,21 +41,23 @@ pub struct CostBreakdown {
 }
 
 fn mlp_costs(in_dim: usize, widths: &[usize], batch: usize) -> LayerCosts {
-    let mut flops = 0u64;
+    // Accumulate in exact integer arithmetic, wrap into units at the end
+    // (every realistic count is far below 2^53, so the f64 is exact too).
+    let mut mac = 0u64;
     let mut params = 0u64;
     let mut prev = in_dim as u64;
     for &w in widths {
         let w = w as u64;
-        flops += batch as u64 * (2 * prev * w + w);
+        mac += batch as u64 * (2 * prev * w + w);
         params += prev * w + w;
         prev = w;
     }
     LayerCosts {
-        flops,
-        param_bytes: params * 4,
+        flops: Flops::of(mac as f64),
+        param_bytes: Bytes::of_u64(params * 4),
         // Every parameter is read once per batched pass (100% utility, as
         // the paper notes in Section III-A).
-        bytes_read: params * 4,
+        bytes_read: Bytes::of_u64(params * 4),
     }
 }
 
@@ -64,14 +67,14 @@ fn mlp_costs(in_dim: usize, widths: &[usize], batch: usize) -> LayerCosts {
 /// The dense shard runs the bottom phase while embedding RPCs are in
 /// flight and the top phase after the pooled vectors return, so the two
 /// must be priced separately by the serving performance model.
-pub fn dense_phase_flops(config: &ModelConfig) -> (u64, u64) {
+pub fn dense_phase_flops(config: &ModelConfig) -> (Flops, Flops) {
     let batch = config.batch_size;
     let bottom = mlp_costs(config.num_dense_features, &config.bottom_mlp, batch).flops;
     let top = mlp_costs(config.interaction_dim(), &config.top_mlp, batch).flops;
     // lint::allow(no_panic): ModelConfig guarantees a non-empty bottom MLP
     let d = *config.bottom_mlp.last().expect("bottom MLP non-empty");
     let inter = interaction_flops(batch, d, config.tables.len());
-    (bottom, top + inter)
+    (bottom, top + Flops::of(inter as f64))
 }
 
 impl CostBreakdown {
@@ -82,10 +85,10 @@ impl CostBreakdown {
         let top = mlp_costs(config.interaction_dim(), &config.top_mlp, batch);
         // lint::allow(no_panic): ModelConfig guarantees a non-empty bottom MLP
         let d = *config.bottom_mlp.last().expect("bottom MLP non-empty");
-        let inter_flops = interaction_flops(batch, d, config.tables.len());
+        let inter = interaction_flops(batch, d, config.tables.len());
 
         let dense = LayerCosts {
-            flops: bottom.flops + top.flops + inter_flops,
+            flops: bottom.flops + top.flops + Flops::of(inter as f64),
             param_bytes: bottom.param_bytes + top.param_bytes,
             bytes_read: bottom.bytes_read + top.bytes_read,
         };
@@ -94,27 +97,28 @@ impl CostBreakdown {
         for t in &config.tables {
             let gathers = batch as u64 * t.pooling as u64;
             // Sum-pooling: (pooling - 1) vector adds per input.
-            sparse.flops += batch as u64 * (t.pooling as u64 - 1) * t.dim as u64;
-            sparse.param_bytes += t.bytes();
-            sparse.bytes_read += gathers * t.vector_bytes();
+            let adds = batch as u64 * (t.pooling as u64 - 1) * t.dim as u64;
+            sparse.flops += Flops::of(adds as f64);
+            sparse.param_bytes += Bytes::of_u64(t.bytes());
+            sparse.bytes_read += Bytes::of_u64(gathers * t.vector_bytes());
         }
         Self { dense, sparse }
     }
 
     /// Fraction of total FLOPs spent in dense layers.
     pub fn dense_flops_fraction(&self) -> f64 {
-        self.dense.flops as f64 / (self.dense.flops + self.sparse.flops) as f64
+        self.dense.flops / (self.dense.flops + self.sparse.flops)
     }
 
     /// Fraction of total parameter memory held by sparse layers.
     pub fn sparse_memory_fraction(&self) -> f64 {
-        self.sparse.param_bytes as f64 / (self.dense.param_bytes + self.sparse.param_bytes) as f64
+        self.sparse.param_bytes / (self.dense.param_bytes + self.sparse.param_bytes)
     }
 
     /// Fraction of the embedding parameters touched by one query — the
     /// paper's "0.001% per inference" memory-utility observation.
     pub fn sparse_touch_fraction(&self) -> f64 {
-        self.sparse.bytes_read as f64 / self.sparse.param_bytes as f64
+        self.sparse.bytes_read / self.sparse.param_bytes
     }
 }
 
@@ -166,7 +170,7 @@ mod tests {
     fn rm3_is_most_compute_heavy() {
         let f1 = CostBreakdown::for_config(&configs::rm1()).dense.flops;
         let f3 = CostBreakdown::for_config(&configs::rm3()).dense.flops;
-        assert!(f3 > 2 * f1, "rm1={f1} rm3={f3}");
+        assert!(f3 / f1 > 2.0, "rm1={f1} rm3={f3}");
     }
 
     #[test]
@@ -182,9 +186,9 @@ mod tests {
     fn mlp_cost_hand_check() {
         // 4 -> [8]: batch 2: flops = 2*(2*4*8 + 8) = 144; params = 40.
         let c = mlp_costs(4, &[8], 2);
-        assert_eq!(c.flops, 144);
-        assert_eq!(c.param_bytes, 40 * 4);
-        assert_eq!(c.bytes_read, 40 * 4);
+        assert_eq!(c.flops, Flops::of(144.0));
+        assert_eq!(c.param_bytes, Bytes::of_u64(40 * 4));
+        assert_eq!(c.bytes_read, Bytes::of_u64(40 * 4));
     }
 
     #[test]
@@ -197,8 +201,9 @@ mod tests {
         let cfg32 = configs::rm1();
         let b1 = CostBreakdown::for_config(&cfg1);
         let b32 = CostBreakdown::for_config(&cfg32);
-        assert_eq!(b32.dense.flops, 32 * b1.dense.flops);
-        assert_eq!(b32.sparse.bytes_read, 32 * b1.sparse.bytes_read);
+        // Integer-exact below 2^53, so equality (not approximation) holds.
+        assert_eq!(b32.dense.flops, b1.dense.flops * 32.0);
+        assert_eq!(b32.sparse.bytes_read, b1.sparse.bytes_read * 32.0);
         // Parameter memory does not scale with batch.
         assert_eq!(b32.sparse.param_bytes, b1.sparse.param_bytes);
     }

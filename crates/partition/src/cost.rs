@@ -1,13 +1,13 @@
 //! Deployment-cost estimation — Algorithm 1 of the paper.
 
 use er_distribution::AccessModel;
+use er_units::{Bytes, Qps};
 
 use crate::QpsModel;
 
-/// Default `target_traffic` constant (queries/sec). The paper notes any
-/// value making every shard's replica count at least one works, and uses
-/// 1000.
-pub const DEFAULT_TARGET_TRAFFIC: f64 = 1000.0;
+/// Default `target_traffic` constant. The paper notes any value making
+/// every shard's replica count at least one works, and uses 1000 QPS.
+pub const DEFAULT_TARGET_TRAFFIC: Qps = Qps::of(1000.0);
 
 /// Estimates the memory consumption of deploying an embedding shard —
 /// the `COST(k, j)` function consumed by the DP partitioner.
@@ -25,12 +25,17 @@ pub const DEFAULT_TARGET_TRAFFIC: f64 = 1000.0;
 /// ```
 /// use er_distribution::LocalityTarget;
 /// use er_partition::{AnalyticGatherModel, CostModel};
+/// use er_units::{Bytes, BytesPerSec, Qps, Secs};
 ///
 /// let access = LocalityTarget::new(0.90).solve(1_000_000);
-/// let qps = AnalyticGatherModel::new(2.0e-4, 20.0e9, 128);
+/// let qps = AnalyticGatherModel::new(
+///     Secs::of(2.0e-4),
+///     BytesPerSec::of(20.0e9),
+///     Bytes::of_u64(128),
+/// );
 /// // A query gathers batch 32 x pooling 128 = 4096 vectors from the table.
-/// let cost = CostModel::new(&access, &qps, 4096.0, 128, 64 << 20)
-///     .with_target_traffic(10_000.0);
+/// let cost = CostModel::new(&access, &qps, 4096.0, Bytes::of_u64(128), Bytes::of_u64(64 << 20))
+///     .with_target_traffic(Qps::of(10_000.0));
 /// // The hot head needs more replicas than the cold tail.
 /// assert!(cost.replicas(0, 100_000) > cost.replicas(100_000, 1_000_000));
 /// ```
@@ -40,11 +45,11 @@ pub struct CostModel<'a, A: AccessModel, Q: QpsModel> {
     qps: &'a Q,
     /// Average vectors gathered from the whole table per query (`n_t`).
     n_t: f64,
-    /// Bytes per embedding vector.
-    vector_bytes: u64,
+    /// Size of one embedding vector.
+    vector_bytes: Bytes,
     /// Fixed memory floor per container replica (code, buffers).
-    min_mem_alloc: u64,
-    target_traffic: f64,
+    min_mem_alloc: Bytes,
+    target_traffic: Qps,
 }
 
 impl<'a, A: AccessModel, Q: QpsModel> CostModel<'a, A, Q> {
@@ -53,12 +58,18 @@ impl<'a, A: AccessModel, Q: QpsModel> CostModel<'a, A, Q> {
     /// # Panics
     ///
     /// Panics if `n_t` is non-positive or `vector_bytes` is zero.
-    pub fn new(access: &'a A, qps: &'a Q, n_t: f64, vector_bytes: u64, min_mem_alloc: u64) -> Self {
+    pub fn new(
+        access: &'a A,
+        qps: &'a Q,
+        n_t: f64,
+        vector_bytes: Bytes,
+        min_mem_alloc: Bytes,
+    ) -> Self {
         assert!(
             n_t.is_finite() && n_t > 0.0,
             "n_t must be positive, got {n_t}"
         );
-        assert!(vector_bytes > 0, "vector size must be positive");
+        assert!(vector_bytes > Bytes::ZERO, "vector size must be positive");
         Self {
             access,
             qps,
@@ -74,9 +85,9 @@ impl<'a, A: AccessModel, Q: QpsModel> CostModel<'a, A, Q> {
     /// # Panics
     ///
     /// Panics if `traffic` is non-positive.
-    pub fn with_target_traffic(mut self, traffic: f64) -> Self {
+    pub fn with_target_traffic(mut self, traffic: Qps) -> Self {
         assert!(
-            traffic.is_finite() && traffic > 0.0,
+            traffic.is_finite() && traffic > Qps::ZERO,
             "target traffic must be positive, got {traffic}"
         );
         self.target_traffic = traffic;
@@ -96,21 +107,21 @@ impl<'a, A: AccessModel, Q: QpsModel> CostModel<'a, A, Q> {
         (self.target_traffic / qps).max(1.0)
     }
 
-    /// Shard storage in bytes: `(j − k) × vector_bytes` (Algorithm 1
-    /// line 18, with `(k, j]` covering `j − k` vectors).
-    pub fn capacity_bytes(&self, k: u64, j: u64) -> u64 {
-        (j - k) * self.vector_bytes
+    /// Shard storage: `(j − k) × vector_bytes` (Algorithm 1 line 18, with
+    /// `(k, j]` covering `j − k` vectors).
+    pub fn capacity(&self, k: u64, j: u64) -> Bytes {
+        self.vector_bytes * (j - k) as f64
     }
 
-    /// Estimated memory consumption of deploying the shard, in bytes.
+    /// Estimated memory consumption of deploying the shard.
     ///
     /// # Panics
     ///
     /// Panics if `k >= j` or `j` exceeds the table size.
-    pub fn cost(&self, k: u64, j: u64) -> f64 {
+    pub fn cost(&self, k: u64, j: u64) -> Bytes {
         assert!(k < j && j <= self.access.len(), "invalid shard ({k}, {j}]");
-        let shard_bytes = self.capacity_bytes(k, j) + self.min_mem_alloc;
-        self.replicas(k, j) * shard_bytes as f64
+        let shard_bytes = self.capacity(k, j) + self.min_mem_alloc;
+        shard_bytes * self.replicas(k, j)
     }
 
     /// The table size this model covers.
@@ -119,7 +130,7 @@ impl<'a, A: AccessModel, Q: QpsModel> CostModel<'a, A, Q> {
     }
 
     /// The per-replica memory floor.
-    pub fn min_mem_alloc(&self) -> u64 {
+    pub fn min_mem_alloc(&self) -> Bytes {
         self.min_mem_alloc
     }
 }
@@ -129,6 +140,7 @@ mod tests {
     use super::*;
     use crate::AnalyticGatherModel;
     use er_distribution::{LocalityTarget, ZipfDistribution};
+    use er_units::{BytesPerSec, Secs};
 
     const N: u64 = 1_000_000;
 
@@ -139,17 +151,25 @@ mod tests {
     fn qps() -> AnalyticGatherModel {
         // A shard replica's slice of a node: ~2 GB/s of random-gather
         // bandwidth and 200 us of fixed per-query work.
-        AnalyticGatherModel::new(2.0e-4, 2.0e9, 128)
+        AnalyticGatherModel::new(Secs::of(2.0e-4), BytesPerSec::of(2.0e9), Bytes::of_u64(128))
     }
 
     /// Per-query gathers: batch 32 x pooling 128.
     const N_T: f64 = 4096.0;
 
+    fn model<'a>(
+        a: &'a ZipfDistribution,
+        q: &'a AnalyticGatherModel,
+        min_mem: u64,
+    ) -> CostModel<'a, ZipfDistribution, AnalyticGatherModel> {
+        CostModel::new(a, q, N_T, Bytes::of_u64(128), Bytes::of_u64(min_mem))
+    }
+
     #[test]
     fn hot_shards_need_more_replicas() {
         let a = access();
         let q = qps();
-        let c = CostModel::new(&a, &q, N_T, 128, 1 << 20).with_target_traffic(10_000.0);
+        let c = model(&a, &q, 1 << 20).with_target_traffic(Qps::of(10_000.0));
         let hot = c.replicas(0, N / 10);
         let cold = c.replicas(N / 10, N);
         assert!(hot > cold + 0.5, "hot={hot} cold={cold}");
@@ -159,7 +179,7 @@ mod tests {
     fn cold_shards_floor_at_one_replica() {
         let a = access();
         let q = qps();
-        let c = CostModel::new(&a, &q, N_T, 128, 1 << 20).with_target_traffic(1.0);
+        let c = model(&a, &q, 1 << 20).with_target_traffic(Qps::of(1.0));
         // With trivial traffic every shard floors at one replica.
         assert_eq!(c.replicas(N - 10, N), 1.0);
     }
@@ -168,7 +188,7 @@ mod tests {
     fn expected_gathers_partition_the_total() {
         let a = access();
         let q = qps();
-        let c = CostModel::new(&a, &q, N_T, 128, 0);
+        let c = model(&a, &q, 0);
         let total = c.expected_gathers(0, N / 3)
             + c.expected_gathers(N / 3, 2 * N / 3)
             + c.expected_gathers(2 * N / 3, N);
@@ -179,16 +199,16 @@ mod tests {
     fn capacity_counts_vectors_times_bytes() {
         let a = access();
         let q = qps();
-        let c = CostModel::new(&a, &q, N_T, 128, 0);
-        assert_eq!(c.capacity_bytes(10, 110), 100 * 128);
+        let c = model(&a, &q, 0);
+        assert_eq!(c.capacity(10, 110), Bytes::of_u64(100 * 128));
     }
 
     #[test]
     fn cost_grows_with_traffic() {
         let a = access();
         let q = qps();
-        let lo = CostModel::new(&a, &q, N_T, 128, 1 << 20).with_target_traffic(1000.0);
-        let hi = CostModel::new(&a, &q, N_T, 128, 1 << 20).with_target_traffic(10_000.0);
+        let lo = model(&a, &q, 1 << 20).with_target_traffic(Qps::of(1000.0));
+        let hi = model(&a, &q, 1 << 20).with_target_traffic(Qps::of(10_000.0));
         // The hot head scales with traffic.
         assert!(hi.cost(0, N / 10) > lo.cost(0, N / 10));
     }
@@ -197,10 +217,10 @@ mod tests {
     fn whole_table_cost_reflects_full_load() {
         let a = access();
         let q = qps();
-        let c = CostModel::new(&a, &q, N_T, 128, 1 << 20);
-        let full = c.cost(0, N);
+        let c = model(&a, &q, 1 << 20);
+        let full = c.cost(0, N).raw();
         // Replicas for the whole table at 1000 QPS target:
-        let expect_replicas = 1000.0 / q.qps(N_T);
+        let expect_replicas = Qps::of(1000.0) / q.qps(N_T);
         let expect = expect_replicas.max(1.0) * ((N * 128 + (1 << 20)) as f64);
         assert!((full - expect).abs() / expect < 1e-9);
     }
@@ -209,10 +229,10 @@ mod tests {
     fn min_mem_alloc_penalizes_each_replica() {
         let a = access();
         let q = qps();
-        let small = CostModel::new(&a, &q, N_T, 128, 0);
-        let big = CostModel::new(&a, &q, N_T, 128, 1 << 30);
+        let small = model(&a, &q, 0);
+        let big = model(&a, &q, 1 << 30);
         assert!(big.cost(0, 1000) > small.cost(0, 1000));
-        assert_eq!(big.min_mem_alloc(), 1 << 30);
+        assert_eq!(big.min_mem_alloc(), Bytes::of_u64(1 << 30));
     }
 
     #[test]
@@ -220,7 +240,7 @@ mod tests {
     fn empty_shard_panics() {
         let a = access();
         let q = qps();
-        CostModel::new(&a, &q, N_T, 128, 0).cost(5, 5);
+        model(&a, &q, 0).cost(5, 5);
     }
 
     #[test]
@@ -228,6 +248,6 @@ mod tests {
     fn zero_traffic_panics() {
         let a = access();
         let q = qps();
-        let _ = CostModel::new(&a, &q, N_T, 128, 0).with_target_traffic(0.0);
+        let _ = model(&a, &q, 0).with_target_traffic(Qps::of(0.0));
     }
 }

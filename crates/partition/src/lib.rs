@@ -15,12 +15,17 @@
 //! ```
 //! use er_distribution::LocalityTarget;
 //! use er_partition::{partition_bucketed, AnalyticGatherModel, CostModel};
+//! use er_units::{Bytes, BytesPerSec, Qps, Secs};
 //!
 //! let access = LocalityTarget::new(0.90).solve(1_000_000);
-//! let qps = AnalyticGatherModel::new(2.0e-4, 2.0e9, 128);
-//! let cost = CostModel::new(&access, &qps, 4096.0, 128, 64 << 20)
-//!     .with_target_traffic(10_000.0);
-//! let plan = partition_bucketed(1_000_000, 8, 64, |k, j| cost.cost(k, j));
+//! let qps = AnalyticGatherModel::new(
+//!     Secs::of(2.0e-4),
+//!     BytesPerSec::of(2.0e9),
+//!     Bytes::of_u64(128),
+//! );
+//! let cost = CostModel::new(&access, &qps, 4096.0, Bytes::of_u64(128), Bytes::of_u64(64 << 20))
+//!     .with_target_traffic(Qps::of(10_000.0));
+//! let plan = partition_bucketed(1_000_000, 8, 64, |k, j| cost.cost(k, j).raw());
 //! assert!(plan.num_shards() >= 2); // skewed tables get split
 //! ```
 

@@ -1,5 +1,6 @@
 //! Gather-throughput models — the paper's Figure 9 profiling step.
 
+use er_units::{Bytes, BytesPerSec, Qps, Secs};
 use serde::{Deserialize, Serialize};
 
 /// Estimated queries/sec an embedding shard replica sustains as a function
@@ -8,7 +9,7 @@ use serde::{Deserialize, Serialize};
 pub trait QpsModel {
     /// Sustainable QPS when each query gathers `gathers` vectors from the
     /// shard. `gathers` may be fractional (it is an expectation).
-    fn qps(&self, gathers: f64) -> f64;
+    fn qps(&self, gathers: f64) -> Qps;
 }
 
 /// First-principles gather model: each query pays a fixed per-query
@@ -23,60 +24,72 @@ pub trait QpsModel {
 ///
 /// ```
 /// use er_partition::{AnalyticGatherModel, QpsModel};
+/// use er_units::{Bytes, BytesPerSec, Secs};
 ///
-/// let dim32 = AnalyticGatherModel::new(2.0e-4, 20.0e9, 128);
-/// let dim512 = AnalyticGatherModel::new(2.0e-4, 20.0e9, 2048);
+/// let dim32 = AnalyticGatherModel::new(
+///     Secs::of(2.0e-4),
+///     BytesPerSec::of(20.0e9),
+///     Bytes::of_u64(128),
+/// );
+/// let dim512 = AnalyticGatherModel::new(
+///     Secs::of(2.0e-4),
+///     BytesPerSec::of(20.0e9),
+///     Bytes::of_u64(2048),
+/// );
 /// assert!(dim32.qps(1000.0) > dim512.qps(1000.0));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AnalyticGatherModel {
-    overhead_secs: f64,
-    bytes_per_sec: f64,
-    vector_bytes: u64,
+    overhead: Secs,
+    bandwidth: BytesPerSec,
+    vector_bytes: Bytes,
 }
 
 impl AnalyticGatherModel {
     /// Creates a model from a per-query overhead, the replica's effective
-    /// random-access bandwidth, and the embedding vector size in bytes.
+    /// random-access bandwidth, and the embedding vector size.
     ///
     /// # Panics
     ///
     /// Panics if any parameter is non-positive or not finite.
-    pub fn new(overhead_secs: f64, bytes_per_sec: f64, vector_bytes: u64) -> Self {
+    pub fn new(overhead: Secs, bandwidth: BytesPerSec, vector_bytes: Bytes) -> Self {
         assert!(
-            overhead_secs.is_finite() && overhead_secs > 0.0,
-            "overhead must be positive, got {overhead_secs}"
+            overhead.is_finite() && overhead > Secs::ZERO,
+            "overhead must be positive, got {overhead}"
         );
         assert!(
-            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
-            "bandwidth must be positive, got {bytes_per_sec}"
+            bandwidth.is_finite() && bandwidth > BytesPerSec::ZERO,
+            "bandwidth must be positive, got {bandwidth}"
         );
-        assert!(vector_bytes > 0, "vector size must be positive");
+        assert!(
+            vector_bytes > Bytes::ZERO,
+            "vector size must be positive, got {vector_bytes}"
+        );
         Self {
-            overhead_secs,
-            bytes_per_sec,
+            overhead,
+            bandwidth,
             vector_bytes,
         }
     }
 
-    /// Seconds to serve one query gathering `gathers` vectors.
-    pub fn latency_secs(&self, gathers: f64) -> f64 {
+    /// Time to serve one query gathering `gathers` vectors.
+    pub fn latency(&self, gathers: f64) -> Secs {
         assert!(
             gathers.is_finite() && gathers >= 0.0,
             "gather count must be finite and non-negative, got {gathers}"
         );
-        self.overhead_secs + gathers * self.vector_bytes as f64 / self.bytes_per_sec
+        self.overhead + self.vector_bytes * gathers / self.bandwidth
     }
 
-    /// The vector size in bytes.
-    pub fn vector_bytes(&self) -> u64 {
+    /// The embedding vector size.
+    pub fn vector_bytes(&self) -> Bytes {
         self.vector_bytes
     }
 }
 
 impl QpsModel for AnalyticGatherModel {
-    fn qps(&self, gathers: f64) -> f64 {
-        1.0 / self.latency_secs(gathers)
+    fn qps(&self, gathers: f64) -> Qps {
+        1.0 / self.latency(gathers)
     }
 }
 
@@ -88,17 +101,22 @@ impl QpsModel for AnalyticGatherModel {
 ///
 /// ```
 /// use er_partition::{AnalyticGatherModel, ProfiledQpsModel, QpsModel};
+/// use er_units::{Bytes, BytesPerSec, Secs};
 ///
-/// let hw = AnalyticGatherModel::new(2.0e-4, 20.0e9, 128);
+/// let hw = AnalyticGatherModel::new(
+///     Secs::of(2.0e-4),
+///     BytesPerSec::of(20.0e9),
+///     Bytes::of_u64(128),
+/// );
 /// let profiled = ProfiledQpsModel::profile(&hw, &[1.0, 10.0, 100.0, 1000.0, 10_000.0]);
 /// let x = 300.0;
-/// let rel = (profiled.qps(x) - hw.qps(x)).abs() / hw.qps(x);
+/// let rel = (profiled.qps(x).raw() - hw.qps(x).raw()).abs() / hw.qps(x).raw();
 /// assert!(rel < 0.05); // regression tracks the hardware closely
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProfiledQpsModel {
     /// Measured `(gathers, qps)` points, ascending in gathers.
-    points: Vec<(f64, f64)>,
+    points: Vec<(f64, Qps)>,
 }
 
 impl ProfiledQpsModel {
@@ -124,7 +142,7 @@ impl ProfiledQpsModel {
     ///
     /// Panics if fewer than two points are given, gather counts are not
     /// strictly increasing and positive, or any QPS is non-positive.
-    pub fn from_measurements(points: Vec<(f64, f64)>) -> Self {
+    pub fn from_measurements(points: Vec<(f64, Qps)>) -> Self {
         assert!(points.len() >= 2, "need at least two profiling points");
         for w in points.windows(2) {
             assert!(
@@ -133,14 +151,14 @@ impl ProfiledQpsModel {
             );
         }
         assert!(
-            points.iter().all(|&(_, q)| q > 0.0 && q.is_finite()),
+            points.iter().all(|&(_, q)| q > Qps::ZERO && q.is_finite()),
             "measured QPS must be positive"
         );
         Self { points }
     }
 
     /// The profiled lookup table.
-    pub fn points(&self) -> &[(f64, f64)] {
+    pub fn points(&self) -> &[(f64, Qps)] {
         &self.points
     }
 
@@ -156,7 +174,7 @@ impl ProfiledQpsModel {
 }
 
 impl QpsModel for ProfiledQpsModel {
-    fn qps(&self, gathers: f64) -> f64 {
+    fn qps(&self, gathers: f64) -> Qps {
         assert!(
             gathers.is_finite() && gathers >= 0.0,
             "gather count must be finite and non-negative, got {gathers}"
@@ -171,7 +189,7 @@ impl QpsModel for ProfiledQpsModel {
         let (x1, y1) = pts[idx + 1];
         // Log-log interpolation suits the power-law shape of QPS(x).
         let t = (x.ln() - x0.ln()) / (x1.ln() - x0.ln());
-        (y0.ln() + t * (y1.ln() - y0.ln())).exp()
+        Qps::of((y0.raw().ln() + t * (y1.raw().ln() - y0.raw().ln())).exp())
     }
 }
 
@@ -180,13 +198,17 @@ mod tests {
     use super::*;
 
     fn hw() -> AnalyticGatherModel {
-        AnalyticGatherModel::new(2.0e-4, 20.0e9, 128)
+        AnalyticGatherModel::new(
+            Secs::of(2.0e-4),
+            BytesPerSec::of(20.0e9),
+            Bytes::of_u64(128),
+        )
     }
 
     #[test]
     fn qps_decreases_with_gathers() {
         let m = hw();
-        let mut prev = f64::INFINITY;
+        let mut prev = Qps::of(f64::INFINITY);
         for &x in &[0.0, 1.0, 10.0, 100.0, 1000.0, 100_000.0] {
             let q = m.qps(x);
             assert!(q < prev, "x={x}");
@@ -197,16 +219,20 @@ mod tests {
     #[test]
     fn zero_gathers_is_overhead_bound() {
         let m = hw();
-        assert!((m.qps(0.0) - 1.0 / 2.0e-4).abs() < 1e-6);
+        assert!((m.qps(0.0).raw() - 1.0 / 2.0e-4).abs() < 1e-6);
     }
 
     #[test]
     fn larger_vectors_lower_qps() {
         // Figure 9: dims 32..512 (128..2048 bytes).
         let x = 5_000.0;
-        let mut prev = f64::INFINITY;
+        let mut prev = Qps::of(f64::INFINITY);
         for dim in [32u64, 64, 128, 256, 512] {
-            let m = AnalyticGatherModel::new(2.0e-4, 20.0e9, dim * 4);
+            let m = AnalyticGatherModel::new(
+                Secs::of(2.0e-4),
+                BytesPerSec::of(20.0e9),
+                Bytes::of_u64(dim * 4),
+            );
             let q = m.qps(x);
             assert!(q < prev, "dim={dim}");
             prev = q;
@@ -216,10 +242,10 @@ mod tests {
     #[test]
     fn latency_is_affine_in_gathers() {
         let m = hw();
-        let l0 = m.latency_secs(0.0);
-        let l1 = m.latency_secs(1000.0);
-        let l2 = m.latency_secs(2000.0);
-        assert!(((l2 - l1) - (l1 - l0)).abs() < 1e-12);
+        let l0 = m.latency(0.0);
+        let l1 = m.latency(1000.0);
+        let l2 = m.latency(2000.0);
+        assert!(((l2 - l1) - (l1 - l0)).raw().abs() < 1e-12);
     }
 
     #[test]
@@ -228,7 +254,8 @@ mod tests {
         let sweep = [1.0, 10.0, 100.0, 1000.0];
         let p = ProfiledQpsModel::profile(&m, &sweep);
         for &x in &sweep {
-            assert!((p.qps(x) - m.qps(x)).abs() / m.qps(x) < 1e-9, "x={x}");
+            let rel = (p.qps(x).raw() - m.qps(x).raw()).abs() / m.qps(x).raw();
+            assert!(rel < 1e-9, "x={x}");
         }
     }
 
@@ -237,17 +264,20 @@ mod tests {
         let m = hw();
         let p = ProfiledQpsModel::profile(&m, &ProfiledQpsModel::standard_sweep(100_000.0));
         for &x in &[3.0, 42.0, 777.0, 31_000.0] {
-            let rel = (p.qps(x) - m.qps(x)).abs() / m.qps(x);
+            let rel = (p.qps(x).raw() - m.qps(x).raw()).abs() / m.qps(x).raw();
             assert!(rel < 0.02, "x={x} rel={rel}");
         }
     }
 
     #[test]
     fn profiled_clamps_outside_range() {
-        let p = ProfiledQpsModel::from_measurements(vec![(10.0, 100.0), (100.0, 10.0)]);
-        assert!((p.qps(1.0) - 100.0).abs() < 1e-9);
-        assert!((p.qps(0.0) - 100.0).abs() < 1e-9);
-        assert!((p.qps(1e9) - 10.0).abs() < 1e-9);
+        let p = ProfiledQpsModel::from_measurements(vec![
+            (10.0, Qps::of(100.0)),
+            (100.0, Qps::of(10.0)),
+        ]);
+        assert!((p.qps(1.0).raw() - 100.0).abs() < 1e-9);
+        assert!((p.qps(0.0).raw() - 100.0).abs() < 1e-9);
+        assert!((p.qps(1e9).raw() - 10.0).abs() < 1e-9);
     }
 
     #[test]
@@ -264,13 +294,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_measurements_panic() {
-        ProfiledQpsModel::from_measurements(vec![(10.0, 1.0), (5.0, 2.0)]);
+        ProfiledQpsModel::from_measurements(vec![(10.0, Qps::of(1.0)), (5.0, Qps::of(2.0))]);
     }
 
     #[test]
     #[should_panic(expected = "two profiling points")]
     fn single_point_panics() {
-        ProfiledQpsModel::from_measurements(vec![(10.0, 1.0)]);
+        ProfiledQpsModel::from_measurements(vec![(10.0, Qps::of(1.0))]);
     }
 
     #[test]

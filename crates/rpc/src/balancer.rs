@@ -361,4 +361,20 @@ mod tests {
             "cannot balance over zero replicas"
         );
     }
+
+    #[test]
+    fn try_pick_error_leaves_balancer_state_intact() {
+        // A replica set draining to zero mid-scale-down must not corrupt
+        // the rotation: the failed pick consumes nothing.
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.try_pick(3), Ok(0));
+        assert_eq!(rr.try_pick(0), Err(BalanceError));
+        assert_eq!(rr.try_pick(3), Ok(1));
+
+        let mut lb = LeastOutstanding::new();
+        assert_eq!(lb.try_pick(2), Ok(0));
+        assert_eq!(lb.try_pick(0), Err(BalanceError));
+        // Replica 0 is still marked busy from the successful pick.
+        assert_eq!(lb.try_pick(2), Ok(1));
+    }
 }

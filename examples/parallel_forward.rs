@@ -16,6 +16,7 @@ use er_distribution::{EmpiricalCdf, LocalityTarget};
 use er_model::{configs, Dlrm, QueryGenerator};
 use er_partition::{partition_bucketed, AnalyticGatherModel, CostModel, PartitionPlan};
 use er_sim::SimRng;
+use er_units::{Bytes, BytesPerSec, Qps, Secs};
 
 const ROWS: u64 = 4_000;
 const QUERIES: usize = 20;
@@ -35,13 +36,18 @@ fn main() {
             c
         })
         .collect();
-    let qps = AnalyticGatherModel::new(3.0e-3, 20.0e6, 128);
+    let qps = AnalyticGatherModel::new(
+        Secs::of(3.0e-3),
+        BytesPerSec::of(20.0e6),
+        Bytes::of_u64(128),
+    );
     let plans: Vec<PartitionPlan> = counts
         .iter()
         .map(|c| {
             let cdf = EmpiricalCdf::from_counts(c);
-            let cost = CostModel::new(&cdf, &qps, 4096.0, 128, 4096).with_target_traffic(10_000.0);
-            partition_bucketed(ROWS, 4, 100, |k, j| cost.cost(k, j))
+            let cost = CostModel::new(&cdf, &qps, 4096.0, Bytes::of_u64(128), Bytes::of_u64(4096))
+                .with_target_traffic(Qps::of(10_000.0));
+            partition_bucketed(ROWS, 4, 100, |k, j| cost.cost(k, j).raw())
         })
         .collect();
     let total_shards: usize = plans.iter().map(|p| p.num_shards()).sum();

@@ -7,6 +7,7 @@
 
 use er_distribution::{AccessModel, LocalityTarget};
 use er_partition::{partition_bucketed, AnalyticGatherModel, CostModel, ProfiledQpsModel};
+use er_units::{Bytes, BytesPerSec, Qps, Secs};
 
 const TABLE_ROWS: u64 = 20_000_000;
 const VECTOR_BYTES: u64 = 128; // dim 32 x f32
@@ -18,14 +19,18 @@ fn main() {
 
     // One-time profiling of a shard container's gather throughput — the
     // paper's Figure 9 sweep, regressed into QPS(x).
-    let hardware = AnalyticGatherModel::new(3.0e-3, 20.0e6, VECTOR_BYTES);
+    let hardware = AnalyticGatherModel::new(
+        Secs::of(3.0e-3),
+        BytesPerSec::of(20.0e6),
+        Bytes::of_u64(VECTOR_BYTES),
+    );
     let sweep = ProfiledQpsModel::standard_sweep(2.0 * GATHERS_PER_QUERY);
     let qps_model = ProfiledQpsModel::profile(&hardware, &sweep);
     println!(
         "profiled {} QPS points: QPS(1) = {:.0}, QPS({GATHERS_PER_QUERY}) = {:.0}\n",
         qps_model.points().len(),
-        qps_model.points()[0].1,
-        qps_model.points().last().expect("non-empty").1,
+        qps_model.points()[0].1.raw(),
+        qps_model.points().last().expect("non-empty").1.raw(),
     );
 
     for p in [0.10, 0.50, 0.90, 0.99] {
@@ -34,11 +39,11 @@ fn main() {
             &access,
             &qps_model,
             GATHERS_PER_QUERY,
-            VECTOR_BYTES,
-            MIN_MEM,
+            Bytes::of_u64(VECTOR_BYTES),
+            Bytes::of_u64(MIN_MEM),
         )
-        .with_target_traffic(1000.0);
-        let plan = partition_bucketed(TABLE_ROWS, 8, 48, |k, j| cost.cost(k, j));
+        .with_target_traffic(Qps::of(1000.0));
+        let plan = partition_bucketed(TABLE_ROWS, 8, 48, |k, j| cost.cost(k, j).raw());
 
         println!(
             "locality P={:.0}% (Zipf exponent {:.3}) -> {} shard(s)",
@@ -58,11 +63,11 @@ fn main() {
             );
         }
         let single = cost.cost(0, TABLE_ROWS);
-        let split: f64 = plan.shards().iter().map(|&(k, j)| cost.cost(k, j)).sum();
+        let split: Bytes = plan.shards().iter().map(|&(k, j)| cost.cost(k, j)).sum();
         println!(
             "  estimated memory: {:.1} GiB monolithic vs {:.1} GiB partitioned ({:.2}x)\n",
-            single / (1u64 << 30) as f64,
-            split / (1u64 << 30) as f64,
+            single.gib(),
+            split.gib(),
             single / split
         );
     }

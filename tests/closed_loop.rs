@@ -11,6 +11,7 @@ use er_distribution::{AccessModel, EmpiricalCdf};
 use er_model::{configs, AccessCounter, Dlrm, QueryGenerator};
 use er_partition::{partition_bucketed, AnalyticGatherModel, CostModel};
 use er_sim::SimRng;
+use er_units::{Bytes, BytesPerSec, Qps, Secs};
 
 const ROWS: u64 = 2_000;
 const TRAIN_QUERIES: usize = 60;
@@ -34,9 +35,14 @@ fn observed_counts_drive_an_accurate_partition() {
     let perm = HotnessPermutation::from_counts(&counts);
     let cdf = EmpiricalCdf::from_counts(&counts);
     let n_t = (cfg.batch_size as u64 * cfg.tables[0].pooling as u64) as f64;
-    let qps = AnalyticGatherModel::new(3.0e-3, 20.0e6, 128);
-    let cost = CostModel::new(&cdf, &qps, n_t, 128, 1024).with_target_traffic(10_000.0);
-    let plan = partition_bucketed(ROWS, 4, 120, |k, j| cost.cost(k, j));
+    let qps = AnalyticGatherModel::new(
+        Secs::of(3.0e-3),
+        BytesPerSec::of(20.0e6),
+        Bytes::of_u64(128),
+    );
+    let cost = CostModel::new(&cdf, &qps, n_t, Bytes::of_u64(128), Bytes::of_u64(1024))
+        .with_target_traffic(Qps::of(10_000.0));
+    let plan = partition_bucketed(ROWS, 4, 120, |k, j| cost.cost(k, j).raw());
     assert!(
         plan.num_shards() >= 2,
         "skewed traffic must split the table"
@@ -92,9 +98,14 @@ fn observed_partition_serves_identically_in_parallel() {
 
     let cdf = EmpiricalCdf::from_counts(&counts);
     let n_t = (cfg.batch_size as u64 * cfg.tables[0].pooling as u64) as f64;
-    let qps = AnalyticGatherModel::new(3.0e-3, 20.0e6, 128);
-    let cost = CostModel::new(&cdf, &qps, n_t, 128, 1024).with_target_traffic(10_000.0);
-    let plan = partition_bucketed(rows, 4, 60, |k, j| cost.cost(k, j));
+    let qps = AnalyticGatherModel::new(
+        Secs::of(3.0e-3),
+        BytesPerSec::of(20.0e6),
+        Bytes::of_u64(128),
+    );
+    let cost = CostModel::new(&cdf, &qps, n_t, Bytes::of_u64(128), Bytes::of_u64(1024))
+        .with_target_traffic(Qps::of(10_000.0));
+    let plan = partition_bucketed(rows, 4, 60, |k, j| cost.cost(k, j).raw());
     assert!(plan.num_shards() >= 2);
 
     let model = Dlrm::with_seed(&cfg, 19);
@@ -124,12 +135,24 @@ fn observed_and_analytic_partitions_agree() {
     let analytic = gen.distribution(0);
 
     let n_t = (cfg.batch_size as u64 * cfg.tables[0].pooling as u64) as f64;
-    let qps = AnalyticGatherModel::new(3.0e-3, 20.0e6, 128);
+    let qps = AnalyticGatherModel::new(
+        Secs::of(3.0e-3),
+        BytesPerSec::of(20.0e6),
+        Bytes::of_u64(128),
+    );
     let plan_of = |cdf: &dyn Fn(u64, u64) -> f64| partition_bucketed(ROWS, 4, 120, cdf);
-    let emp_cost = CostModel::new(&empirical, &qps, n_t, 128, 1024).with_target_traffic(10_000.0);
-    let ana_cost = CostModel::new(analytic, &qps, n_t, 128, 1024).with_target_traffic(10_000.0);
-    let emp_plan = plan_of(&|k, j| emp_cost.cost(k, j));
-    let ana_plan = plan_of(&|k, j| ana_cost.cost(k, j));
+    let emp_cost = CostModel::new(
+        &empirical,
+        &qps,
+        n_t,
+        Bytes::of_u64(128),
+        Bytes::of_u64(1024),
+    )
+    .with_target_traffic(Qps::of(10_000.0));
+    let ana_cost = CostModel::new(analytic, &qps, n_t, Bytes::of_u64(128), Bytes::of_u64(1024))
+        .with_target_traffic(Qps::of(10_000.0));
+    let emp_plan = plan_of(&|k, j| emp_cost.cost(k, j).raw());
+    let ana_plan = plan_of(&|k, j| ana_cost.cost(k, j).raw());
 
     assert_eq!(emp_plan.num_shards(), ana_plan.num_shards());
     // Hot-head sizes agree within a factor of three (finite-sample noise

@@ -11,6 +11,7 @@ use er_distribution::{EmpiricalCdf, LocalityTarget};
 use er_model::{configs, Dlrm, QueryGenerator};
 use er_partition::{partition_exact, AnalyticGatherModel, CostModel, PartitionPlan};
 use er_sim::SimRng;
+use er_units::{Bytes, BytesPerSec, Qps, Secs};
 
 /// Tolerance for f32 sum-reassociation across shard partial pools.
 const TOL: f32 = 1e-4;
@@ -41,16 +42,26 @@ fn dp_partitioned_sharded_model_matches_monolith() {
     let counts: Vec<Vec<u64>> = (0..3)
         .map(|t| synthetic_counts(rows, 0.9, 100 + t as u64))
         .collect();
-    let qps = AnalyticGatherModel::new(3.0e-3, 20.0e6, 128);
+    let qps = AnalyticGatherModel::new(
+        Secs::of(3.0e-3),
+        BytesPerSec::of(20.0e6),
+        Bytes::of_u64(128),
+    );
     let plans: Vec<PartitionPlan> = counts
         .iter()
         .map(|c| {
             let access = EmpiricalCdf::from_counts(c);
             // Tiny test table: scale the per-container floor down and the
             // traffic up so the DP has a real replication tradeoff.
-            let cost =
-                CostModel::new(&access, &qps, 4096.0, 128, 1024).with_target_traffic(10_000.0);
-            partition_exact(rows, 4, |k, j| cost.cost(k, j))
+            let cost = CostModel::new(
+                &access,
+                &qps,
+                4096.0,
+                Bytes::of_u64(128),
+                Bytes::of_u64(1024),
+            )
+            .with_target_traffic(Qps::of(10_000.0));
+            partition_exact(rows, 4, |k, j| cost.cost(k, j).raw())
         })
         .collect();
     assert!(plans.iter().any(|p| p.num_shards() >= 2));

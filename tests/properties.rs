@@ -271,7 +271,7 @@ proptest! {
             let cap = HardwareProfile::cpu_only_node();
             for (_, alloc) in cluster.node_allocations() {
                 prop_assert!(alloc.cpu_millicores <= cap.cpu_millicores());
-                prop_assert!(alloc.memory_bytes <= cap.mem_bytes);
+                prop_assert!(alloc.memory_bytes <= cap.mem_bytes.whole());
             }
             // Invariant 2: memory metric equals the sum over deployments.
             let expect: u64 = (0..4)
