@@ -47,6 +47,14 @@ run_stage "er-lint fixtures" cargo test -q -p er-lint --test rule_fixtures
 run_stage "build (tier-1)" cargo build --release
 run_stage "test (tier-1)" cargo test -q
 run_stage "test race-check" cargo test -q -p elasticrec --features race-check
+# The warm-workspace forward pass must stay allocation-free (its own test
+# binary: the counting global allocator is process-wide).
+run_stage "test zero-alloc" cargo test -q -p elasticrec --features alloc-count --test zero_alloc
+# CI-sized perf run: exercises the suite end to end, validates the emitted
+# JSON schema, and writes target/BENCH_perf_smoke.json. Timings at smoke
+# scale are noise — the full run is `cargo run --release -p er-bench --bin
+# perfsuite`.
+run_stage "perfsuite smoke" ./target/release/perfsuite --smoke
 
 echo
 echo "CI OK"

@@ -1,0 +1,246 @@
+//! Performance baseline suite: times the serving fast path end to end and
+//! writes `BENCH_perf.json` so every PR leaves a perf trajectory behind.
+//!
+//! Three timed sections, each with a deterministic work definition so runs
+//! are comparable across commits on the same machine:
+//!
+//! * `event_queue` — raw schedule/pop throughput of [`er_sim::EventQueue`]
+//!   under a churning future-event list (the discrete-event engine's inner
+//!   loop);
+//! * `forward` — steady-state [`elasticrec::ShardedDlrm`] forward passes
+//!   (the functional serving path: remap → bucketize → gather → MLP);
+//! * `fig19_sim` — the Figure 19 dynamic-traffic closed loop (arrivals,
+//!   fan-out, HPA) at full duration, the wall-clock-dominant workload of
+//!   the whole reproduction.
+//!
+//! Every section also folds its *simulation-visible* results into a
+//! determinism digest, so a perf refactor that changes outputs is caught
+//! here as well as in the test suite.
+//!
+//! Usage:
+//!   perfsuite [--smoke] [--out PATH] [--baseline PATH]
+//!
+//! `--smoke` runs a tiny configuration (CI-sized), writes to
+//! `target/BENCH_perf_smoke.json` by default, and validates the emitted
+//! JSON schema. `--baseline` points at a previous `BENCH_perf.json`; its
+//! `wall_secs` per section are embedded and speedups computed.
+
+use std::time::Instant;
+
+use elasticrec::{
+    plan, Calibration, Platform, ShardedDlrm, Simulation, SimulationConfig, Strategy,
+};
+use er_bench::perf::{self, Digest, PerfReport, Section};
+use er_model::{configs, Dlrm, QueryGenerator};
+use er_partition::PartitionPlan;
+use er_sim::{EventQueue, SimRng};
+use er_workload::TrafficSchedule;
+
+/// Scale knobs for one suite run.
+struct Scale {
+    /// Events pushed through the event-queue churn loop.
+    queue_ops: u64,
+    /// Pending events held in the queue while churning.
+    queue_depth: u64,
+    /// Forward passes timed after warmup.
+    forward_iters: u64,
+    /// Embedding rows per table in the forward model.
+    forward_rows: u64,
+    /// Simulated seconds of the fig19 schedule.
+    sim_duration: f64,
+    /// Base QPS of the fig19 stepped schedule (peaks at 5x).
+    sim_base_qps: f64,
+}
+
+const FULL: Scale = Scale {
+    queue_ops: 4_000_000,
+    queue_depth: 4096,
+    forward_iters: 400,
+    forward_rows: 2000,
+    sim_duration: 320.0,
+    sim_base_qps: 60.0,
+};
+
+const SMOKE: Scale = Scale {
+    queue_ops: 50_000,
+    queue_depth: 256,
+    forward_iters: 5,
+    forward_rows: 300,
+    sim_duration: 20.0,
+    sim_base_qps: 20.0,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| {
+        if smoke {
+            "target/BENCH_perf_smoke.json".to_string()
+        } else {
+            "BENCH_perf.json".to_string()
+        }
+    });
+    let baseline_path = flag_value(&args, "--baseline");
+    let scale = if smoke { &SMOKE } else { &FULL };
+
+    let mut report = PerfReport::new(if smoke { "smoke" } else { "full" });
+
+    report.push(bench_event_queue(scale));
+    report.push(bench_forward(scale));
+    report.push(bench_fig19(scale));
+
+    if let Some(path) = &baseline_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => report.attach_baseline(&text),
+            Err(e) => eprintln!("perfsuite: cannot read baseline {path}: {e}"),
+        }
+    }
+
+    let json = report.to_json();
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            // lint::allow(env_io): the perf harness's whole job is writing the report file
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    // lint::allow(env_io): the perf harness's whole job is writing the report file
+    std::fs::write(&out_path, &json).expect("write perf report");
+
+    println!("{}", report.summary_table());
+    println!("report written to {out_path}");
+
+    // The emitted file must round-trip the schema check — this is what the
+    // CI smoke stage relies on.
+    // lint::allow(env_io): schema validation re-reads the file just written
+    let reread = std::fs::read_to_string(&out_path).expect("reread perf report");
+    match perf::validate_schema(&reread) {
+        Ok(sections) => println!("schema ok ({sections} sections)"),
+        Err(e) => {
+            eprintln!("perfsuite: schema validation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Event-queue churn: hold `depth` pending events, then pop-one/push-one
+/// for `ops` iterations — the steady-state shape of the sim's future-event
+/// list. The digest folds every popped timestamp so ordering changes are
+/// caught.
+#[allow(clippy::disallowed_methods)] // benchmarks measure real elapsed time
+fn bench_event_queue(scale: &Scale) -> Section {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = SimRng::seed_from(7);
+    for i in 0..scale.queue_depth {
+        q.schedule_in(rng.uniform() * 10.0, i);
+    }
+    let mut digest = Digest::new();
+    // lint::allow(wall_clock): benchmarks measure real elapsed time by definition
+    let t0 = Instant::now();
+    for i in 0..scale.queue_ops {
+        let (t, ev) = q.pop().expect("queue holds `depth` pending events");
+        digest.fold_f64(t.as_secs());
+        digest.fold_u64(ev);
+        q.schedule_in(rng.uniform() * 10.0, i);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    while let Some((t, _)) = q.pop() {
+        digest.fold_f64(t.as_secs());
+    }
+    Section::new("event_queue", wall, scale.queue_ops, digest)
+}
+
+/// Steady-state sharded forward passes over a fixed query set — the
+/// zero-allocation fast path this suite exists to track. The digest folds
+/// every output probability, so the path must stay bit-identical.
+#[allow(clippy::disallowed_methods)] // benchmarks measure real elapsed time
+fn bench_forward(scale: &Scale) -> Section {
+    let cfg = configs::rm1()
+        .scaled_tables(scale.forward_rows)
+        .with_num_tables(4);
+    let model = Dlrm::with_seed(&cfg, 11);
+    let rows = scale.forward_rows;
+    let counts: Vec<Vec<u64>> = (0..4)
+        .map(|t| {
+            (0..rows)
+                .map(|i| ((i * 7919 + t as u64 * 31) % rows) + 1)
+                .collect()
+        })
+        .collect();
+    let cuts = vec![rows / 10, rows / 2, rows];
+    let plans = vec![PartitionPlan::new(cuts, rows).expect("valid cuts"); 4];
+    let sharded = ShardedDlrm::new(model, &counts, plans).expect("valid sharding");
+
+    let gen = QueryGenerator::new(&cfg);
+    let mut rng = SimRng::seed_from(3);
+    let queries: Vec<_> = (0..8).map(|_| gen.generate(&mut rng)).collect();
+
+    // Warm the workspace (and caches) so the timed region is the true
+    // steady state: zero allocations per forward pass.
+    let mut ws = sharded.workspace();
+    for q in &queries {
+        let _ = sharded.forward_ws(q, &mut ws);
+    }
+    let mut digest = Digest::new();
+    // lint::allow(wall_clock): benchmarks measure real elapsed time by definition
+    let t0 = Instant::now();
+    for i in 0..scale.forward_iters {
+        let out = sharded.forward_ws(&queries[(i % 8) as usize], &mut ws);
+        digest.fold_f64(f64::from(out.get(0, 0)));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    // Fold full output of one pass for a stronger fingerprint.
+    let out = sharded.forward_ws(&queries[0], &mut ws);
+    for r in 0..out.rows() {
+        digest.fold_f64(f64::from(out.get(r, 0)));
+    }
+    Section::new("forward", wall, scale.forward_iters, digest)
+}
+
+/// The Figure 19 dynamic-traffic closed loop under the Elastic strategy.
+/// Work units are completed queries; the digest folds the full metrics
+/// time series and final replica counts — the bit-identical contract of
+/// the scheduler/workspace rewrite.
+#[allow(clippy::disallowed_methods)] // benchmarks measure real elapsed time
+fn bench_fig19(scale: &Scale) -> Section {
+    let calib = Calibration::cpu_only();
+    let cfg_model = configs::rm1();
+    let p = plan(&cfg_model, Platform::CpuOnly, Strategy::Elastic, &calib);
+    let schedule = TrafficSchedule::figure19(scale.sim_base_qps, scale.sim_duration / 8.0);
+    let cfg = SimulationConfig::new(schedule, scale.sim_duration, 1234);
+
+    // lint::allow(wall_clock): benchmarks measure real elapsed time by definition
+    let t0 = Instant::now();
+    let out = Simulation::run(&p, &calib, &cfg);
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut digest = Digest::new();
+    digest.fold_u64(out.total_queries);
+    digest.fold_u64(out.completed_queries);
+    digest.fold_u64(out.sla_violation_intervals as u64);
+    digest.fold_u64(out.metric_intervals as u64);
+    digest.fold_u64(out.final_nodes_used as u64);
+    digest.fold_f64(out.peak_memory_gib);
+    digest.fold_f64(out.latency.percentile(0.5));
+    digest.fold_f64(out.latency.percentile(0.95));
+    digest.fold_f64(out.latency.percentile(0.99));
+    for series in [
+        &out.achieved_qps,
+        &out.target_qps,
+        &out.memory_gib,
+        &out.p95_ms,
+        &out.total_replicas,
+    ] {
+        for pt in series.points() {
+            digest.fold_f64(pt.time);
+            digest.fold_f64(pt.value);
+        }
+    }
+    Section::new("fig19_sim", wall, out.completed_queries, digest)
+}

@@ -5,4 +5,5 @@
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations, unreachable_pub)]
 
+pub mod perf;
 pub mod report;

@@ -1,0 +1,407 @@
+//! Shared plumbing for the `perfsuite` binary: determinism digests, the
+//! `BENCH_perf.json` report format, and a schema validator the CI smoke
+//! stage runs against the emitted file.
+//!
+//! The workspace deliberately has no JSON parser dependency (the vendored
+//! `serde` stub only derives), so the report is written by hand and read
+//! back by a small scanner that understands exactly this format. That is
+//! fine: the file is machine-written by this crate and only ever consumed
+//! by this crate and by humans.
+
+use std::fmt::Write as _;
+
+/// FNV-1a accumulator over the *bit patterns* of results.
+///
+/// Folding `f64::to_bits` (not rounded decimal strings) means two runs
+/// produce the same digest iff their observable outputs are bit-identical
+/// — the contract the zero-allocation refactor must preserve.
+///
+/// # Examples
+///
+/// ```
+/// use er_bench::perf::Digest;
+///
+/// let mut a = Digest::new();
+/// a.fold_f64(0.1 + 0.2);
+/// let mut b = Digest::new();
+/// b.fold_f64(0.3);
+/// assert_ne!(a.value(), b.value()); // 0.1+0.2 != 0.3 bit-for-bit
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digest(u64);
+
+impl Default for Digest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates an empty digest (FNV offset basis).
+    pub fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    /// Folds a raw 64-bit value, byte by byte.
+    pub fn fold_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds the IEEE-754 bit pattern of `v`.
+    pub fn fold_f64(&mut self, v: f64) {
+        self.fold_u64(v.to_bits());
+    }
+
+    /// Current digest value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// Digest rendered the way the report stores it.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// One timed section of the suite.
+#[derive(Debug, Clone)]
+pub struct Section {
+    name: String,
+    wall_secs: f64,
+    work_units: u64,
+    digest: String,
+    baseline_wall_secs: Option<f64>,
+    baseline_digest: Option<String>,
+}
+
+impl Section {
+    /// Creates a section from a measured wall time over `work_units` of work.
+    pub fn new(name: &str, wall_secs: f64, work_units: u64, digest: Digest) -> Self {
+        Self {
+            name: name.to_string(),
+            wall_secs,
+            work_units,
+            digest: digest.hex(),
+            baseline_wall_secs: None,
+            baseline_digest: None,
+        }
+    }
+
+    /// Section name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Measured wall time in seconds.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_secs
+    }
+
+    /// Determinism digest (hex).
+    pub fn digest(&self) -> &str {
+        &self.digest
+    }
+
+    /// Work units per second, or 0 if the measurement was too fast to time.
+    pub fn units_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.work_units as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Speedup vs the attached baseline, if one was attached.
+    pub fn speedup(&self) -> Option<f64> {
+        self.baseline_wall_secs
+            .filter(|_| self.wall_secs > 0.0)
+            .map(|b| b / self.wall_secs)
+    }
+}
+
+/// The whole suite run, serializable to `BENCH_perf.json`.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    mode: String,
+    sections: Vec<Section>,
+}
+
+/// The `"schema"` marker every report carries; bump on format changes.
+pub const SCHEMA: &str = "elasticrec-perfsuite-v1";
+
+impl PerfReport {
+    /// Creates an empty report for the given mode (`"full"` or `"smoke"`).
+    pub fn new(mode: &str) -> Self {
+        Self {
+            mode: mode.to_string(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a timed section.
+    pub fn push(&mut self, section: Section) {
+        self.sections.push(section);
+    }
+
+    /// Sections recorded so far.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Attaches baseline wall times and digests from a previous report's
+    /// JSON text, matched up by section name. Sections missing from the
+    /// baseline are left without one.
+    pub fn attach_baseline(&mut self, baseline_json: &str) {
+        for s in &mut self.sections {
+            if let Some(b) = scan_section(baseline_json, &s.name) {
+                s.baseline_wall_secs = Some(b.wall_secs);
+                s.baseline_digest = Some(b.digest);
+            }
+        }
+    }
+
+    /// Renders the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(out, "  \"mode\": \"{}\",", self.mode);
+        out.push_str("  \"sections\": [\n");
+        for (i, s) in self.sections.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": \"{}\",", s.name);
+            let _ = writeln!(out, "      \"wall_secs\": {:.6},", s.wall_secs);
+            let _ = writeln!(out, "      \"work_units\": {},", s.work_units);
+            let _ = writeln!(out, "      \"units_per_sec\": {:.3},", s.units_per_sec());
+            if let Some(b) = s.baseline_wall_secs {
+                let _ = writeln!(out, "      \"baseline_wall_secs\": {b:.6},");
+            }
+            if let Some(sp) = s.speedup() {
+                let _ = writeln!(out, "      \"speedup\": {sp:.3},");
+            }
+            if let Some(bd) = &s.baseline_digest {
+                let _ = writeln!(out, "      \"baseline_digest\": \"{bd}\",");
+                let _ = writeln!(
+                    out,
+                    "      \"digest_matches_baseline\": {},",
+                    bd == &s.digest
+                );
+            }
+            let _ = writeln!(out, "      \"digest\": \"{}\"", s.digest);
+            out.push_str(if i + 1 < self.sections.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable summary for stdout.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>16} {:>10}  {:<18}",
+            "section", "wall(s)", "units/sec", "speedup", "digest"
+        );
+        for s in &self.sections {
+            let speedup = match s.speedup() {
+                Some(sp) => format!("{sp:.2}x"),
+                None => "-".to_string(),
+            };
+            let digest_note = match &s.baseline_digest {
+                Some(bd) if bd == &s.digest => format!("{} (=base)", s.digest),
+                Some(_) => format!("{} (DIFFERS)", s.digest),
+                None => s.digest.clone(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<14} {:>12.4} {:>16.0} {:>10}  {:<18}",
+                s.name,
+                s.wall_secs,
+                s.units_per_sec(),
+                speedup,
+                digest_note
+            );
+        }
+        out
+    }
+}
+
+/// A section as read back from a report file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScannedSection {
+    /// Measured wall time in seconds.
+    pub wall_secs: f64,
+    /// Determinism digest (hex).
+    pub digest: String,
+}
+
+/// Finds the named section in a report's JSON text and extracts its wall
+/// time and digest. Returns `None` when the section (or a field) is absent
+/// or malformed — a missing baseline is not an error.
+pub fn scan_section(json: &str, name: &str) -> Option<ScannedSection> {
+    let marker = format!("\"name\": \"{name}\"");
+    let start = json.find(&marker)? + marker.len();
+    // The section object ends at the next '}' — fields are flat scalars.
+    let end = start + json[start..].find('}')?;
+    let body = &json[start..end];
+    let wall_secs: f64 = scan_field(body, "wall_secs")?.parse().ok()?;
+    let digest = scan_field(body, "digest")?.trim_matches('"').to_string();
+    Some(ScannedSection { wall_secs, digest })
+}
+
+/// Extracts the raw token following `"key": ` within `body`.
+fn scan_field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let marker = format!("\"{key}\": ");
+    let start = body.find(&marker)? + marker.len();
+    let rest = &body[start..];
+    let end = rest.find([',', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Validates that `json` looks like a well-formed perfsuite report:
+/// schema marker, at least one section, and every section carrying a
+/// positive wall time, a digest, and a throughput figure. Returns the
+/// section count.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated rule.
+pub fn validate_schema(json: &str) -> Result<usize, String> {
+    if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing schema marker {SCHEMA:?}"));
+    }
+    if scan_field(json, "mode").is_none() {
+        return Err("missing \"mode\" field".to_string());
+    }
+    let mut count = 0;
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"name\": \"") {
+        let after = &rest[pos + 9..];
+        let name_end = after
+            .find('"')
+            .ok_or_else(|| "unterminated section name".to_string())?;
+        let name = &after[..name_end];
+        let section = scan_section(rest, name)
+            .ok_or_else(|| format!("section {name:?} is missing wall_secs or digest"))?;
+        if !section.wall_secs.is_finite() || section.wall_secs < 0.0 {
+            return Err(format!(
+                "section {name:?} has invalid wall_secs {}",
+                section.wall_secs
+            ));
+        }
+        if section.digest.len() != 16 || !section.digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!(
+                "section {name:?} digest {:?} is not a 16-digit hex string",
+                section.digest
+            ));
+        }
+        count += 1;
+        rest = &after[name_end..];
+    }
+    if count == 0 {
+        return Err("report contains no sections".to_string());
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PerfReport {
+        let mut d1 = Digest::new();
+        d1.fold_f64(1.5);
+        let mut d2 = Digest::new();
+        d2.fold_u64(7);
+        let mut r = PerfReport::new("smoke");
+        r.push(Section::new("event_queue", 0.25, 1000, d1));
+        r.push(Section::new("fig19_sim", 2.0, 500, d2));
+        r
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut a = Digest::new();
+        a.fold_u64(1);
+        a.fold_u64(2);
+        let mut b = Digest::new();
+        b.fold_u64(2);
+        b.fold_u64(1);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn digest_distinguishes_negative_zero() {
+        let mut a = Digest::new();
+        a.fold_f64(0.0);
+        let mut b = Digest::new();
+        b.fold_f64(-0.0);
+        assert_ne!(a.value(), b.value(), "digest must be bit-exact, not ==");
+    }
+
+    #[test]
+    fn report_round_trips_through_scanner() {
+        let r = report();
+        let json = r.to_json();
+        let s = scan_section(&json, "event_queue").expect("section present");
+        assert!((s.wall_secs - 0.25).abs() < 1e-9);
+        assert_eq!(s.digest, r.sections()[0].digest());
+        assert_eq!(validate_schema(&json), Ok(2));
+    }
+
+    #[test]
+    fn baseline_attachment_computes_speedup() {
+        let baseline = report().to_json();
+        let mut current = report();
+        current.sections[0].wall_secs = 0.125; // 2x faster
+        current.attach_baseline(&baseline);
+        let sp = current.sections()[0].speedup().expect("baseline attached");
+        assert!((sp - 2.0).abs() < 1e-9);
+        let json = current.to_json();
+        assert!(json.contains("\"digest_matches_baseline\": true"));
+        assert_eq!(validate_schema(&json), Ok(2));
+    }
+
+    #[test]
+    fn baseline_digest_mismatch_is_reported() {
+        let baseline = report().to_json();
+        let mut current = report();
+        let mut d = Digest::new();
+        d.fold_u64(999);
+        current.sections[0] = Section::new("event_queue", 0.25, 1000, d);
+        current.attach_baseline(&baseline);
+        assert!(current
+            .to_json()
+            .contains("\"digest_matches_baseline\": false"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_reports() {
+        assert!(validate_schema("{}").is_err());
+        let json = report().to_json();
+        assert!(validate_schema(&json.replace(SCHEMA, "bogus")).is_err());
+        assert!(validate_schema(&json.replace("wall_secs", "wall_sex")).is_err());
+        let broken = json.replace(
+            &report().sections()[0].digest().to_string(),
+            "nothexnothexnoth",
+        );
+        assert!(validate_schema(&broken).is_err());
+    }
+
+    #[test]
+    fn missing_baseline_section_is_not_an_error() {
+        let mut r = report();
+        r.attach_baseline("{\"schema\": \"elasticrec-perfsuite-v1\", \"sections\": []}");
+        assert_eq!(r.sections()[0].speedup(), None);
+    }
+}

@@ -92,9 +92,18 @@ struct Node {
 
 #[derive(Debug, Clone)]
 struct DeploymentState {
+    name: String,
     spec: PodSpec,
     pods: Vec<Pod>,
 }
+
+/// Dense handle to a deployment, resolved once via [`Cluster::deploy_id`]
+/// and valid for the cluster's lifetime (deployments are never reindexed,
+/// deletion leaves a tombstone). Handle-based accessors are plain `Vec`
+/// indexing — the per-event string lookups the simulation engine used to
+/// pay are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeployId(usize);
 
 /// A homogeneous cluster of nodes managed like a Kubernetes cluster: pods
 /// are placed first-fit onto nodes, and new nodes are provisioned on demand
@@ -120,7 +129,12 @@ struct DeploymentState {
 pub struct Cluster {
     pools: Vec<NodePool>,
     nodes: Vec<Node>,
-    deployments: BTreeMap<String, DeploymentState>,
+    /// Deployment storage, indexed by [`DeployId`]. Deleted deployments
+    /// leave a drained tombstone so existing handles stay valid.
+    deployments: Vec<DeploymentState>,
+    /// Live deployments by name, values indexing `deployments`. Sorted
+    /// iteration order keeps name-driven operations deterministic.
+    by_name: BTreeMap<String, usize>,
     next_pod_id: u64,
 }
 
@@ -143,7 +157,8 @@ impl Cluster {
         Self {
             pools,
             nodes: Vec::new(),
-            deployments: BTreeMap::new(),
+            deployments: Vec::new(),
+            by_name: BTreeMap::new(),
             next_pod_id: 0,
         }
     }
@@ -172,17 +187,17 @@ impl Cluster {
         now: SimTime,
     ) -> Result<(), ScheduleError> {
         let name = name.into();
-        if self.deployments.contains_key(&name) {
+        if self.by_name.contains_key(&name) {
             return Err(ScheduleError::DuplicateDeployment(name));
         }
-        self.deployments.insert(
-            name.clone(),
-            DeploymentState {
-                spec,
-                pods: Vec::new(),
-            },
-        );
-        self.scale_to(&name, replicas, now)
+        let idx = self.deployments.len();
+        self.deployments.push(DeploymentState {
+            name: name.clone(),
+            spec,
+            pods: Vec::new(),
+        });
+        self.by_name.insert(name, idx);
+        self.scale_deployment(DeployId(idx), replicas, now)
     }
 
     /// Creates a deployment whose *initial* pods are ready immediately —
@@ -202,8 +217,82 @@ impl Cluster {
     ) -> Result<(), ScheduleError> {
         let name = name.into();
         self.create_deployment(name.clone(), spec, replicas, now)?;
-        for pod in &mut self.deployments.get_mut(&name).expect("just created").pods {
+        let idx = self.by_name[&name];
+        for pod in &mut self.deployments[idx].pods {
             pod.set_ready_at(now);
+        }
+        Ok(())
+    }
+
+    /// Resolves a deployment name to its dense handle. Do this once, then
+    /// use the `*_of` accessors on the hot path.
+    pub fn deploy_id(&self, name: &str) -> Option<DeployId> {
+        self.by_name.get(name).copied().map(DeployId)
+    }
+
+    /// The name a handle was created under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this cluster.
+    pub fn deployment_name(&self, id: DeployId) -> &str {
+        &self.deployments[id.0].name
+    }
+
+    /// The pods of a deployment, by handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this cluster.
+    pub fn pods_of(&self, id: DeployId) -> &[Pod] {
+        &self.deployments[id.0].pods
+    }
+
+    /// Desired (scheduled) replica count, by handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this cluster.
+    pub fn replicas_of(&self, id: DeployId) -> usize {
+        self.deployments[id.0].pods.len()
+    }
+
+    /// Memory requested by one deployment's pods, by handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this cluster.
+    pub fn deployment_memory_of(&self, id: DeployId) -> u64 {
+        let d = &self.deployments[id.0];
+        d.spec.resources().memory_bytes * d.pods.len() as u64
+    }
+
+    /// Scales a deployment to exactly `replicas` pods, by handle. Same
+    /// semantics as [`Cluster::scale_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a new pod cannot be placed; pods placed before
+    /// the failure remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this cluster.
+    pub fn scale_deployment(
+        &mut self,
+        id: DeployId,
+        replicas: usize,
+        now: SimTime,
+    ) -> Result<(), ScheduleError> {
+        let current = self.deployments[id.0].pods.len();
+        if replicas > current {
+            for _ in current..replicas {
+                self.add_pod(id.0, now)?;
+            }
+        } else {
+            for _ in replicas..current {
+                self.remove_pod(id.0);
+            }
         }
         Ok(())
     }
@@ -222,28 +311,15 @@ impl Cluster {
         replicas: usize,
         now: SimTime,
     ) -> Result<(), ScheduleError> {
-        let current = self
-            .deployments
-            .get(name)
-            .ok_or_else(|| ScheduleError::UnknownDeployment(name.to_owned()))?
-            .pods
-            .len();
-
-        if replicas > current {
-            for _ in current..replicas {
-                self.add_pod(name, now)?;
-            }
-        } else {
-            for _ in replicas..current {
-                self.remove_pod(name);
-            }
-        }
-        Ok(())
+        let id = self
+            .deploy_id(name)
+            .ok_or_else(|| ScheduleError::UnknownDeployment(name.to_owned()))?;
+        self.scale_deployment(id, replicas, now)
     }
 
-    fn add_pod(&mut self, name: &str, now: SimTime) -> Result<(), ScheduleError> {
+    fn add_pod(&mut self, idx: usize, now: SimTime) -> Result<(), ScheduleError> {
         let (request, startup) = {
-            let d = &self.deployments[name];
+            let d = &self.deployments[idx];
             (*d.spec.resources(), d.spec.startup_secs())
         };
         if !self
@@ -252,7 +328,7 @@ impl Cluster {
             .any(|p| ResourceRequest::default().fits_with(&request, &p.capacity()))
         {
             return Err(ScheduleError::PodLargerThanNode {
-                deployment: name.to_owned(),
+                deployment: self.deployments[idx].name.clone(),
             });
         }
         // Choose among existing nodes in pool order; within a pool, spread
@@ -261,7 +337,7 @@ impl Cluster {
         // whole deployment. Ties break toward lower node indices, keeping
         // placement deterministic and packing dense.
         let mut same_dep_per_node = vec![0usize; self.nodes.len()];
-        for pod in &self.deployments[name].pods {
+        for pod in &self.deployments[idx].pods {
             same_dep_per_node[pod.node()] += 1;
         }
         let mut node_idx = None;
@@ -304,7 +380,7 @@ impl Cluster {
                 }
                 let Some(pool) = provisioned else {
                     return Err(ScheduleError::ClusterFull {
-                        deployment: name.to_owned(),
+                        deployment: self.deployments[idx].name.clone(),
                         max_nodes: self
                             .pools
                             .iter()
@@ -325,16 +401,12 @@ impl Cluster {
         self.nodes[node_idx].pods += 1;
         let pod = Pod::new(self.next_pod_id, node_idx, now + startup);
         self.next_pod_id += 1;
-        self.deployments
-            .get_mut(name)
-            .expect("checked above")
-            .pods
-            .push(pod);
+        self.deployments[idx].pods.push(pod);
         Ok(())
     }
 
-    fn remove_pod(&mut self, name: &str) {
-        let d = self.deployments.get_mut(name).expect("caller checked");
+    fn remove_pod(&mut self, idx: usize) {
+        let d = &mut self.deployments[idx];
         let Some(pod) = d.pods.pop() else { return };
         let request = *d.spec.resources();
         let node = &mut self.nodes[pod.node()];
@@ -352,52 +424,55 @@ impl Cluster {
     ///
     /// Returns an error if the deployment is unknown.
     pub fn delete_deployment(&mut self, name: &str) -> Result<(), ScheduleError> {
-        if !self.deployments.contains_key(name) {
-            return Err(ScheduleError::UnknownDeployment(name.to_owned()));
+        let idx = *self
+            .by_name
+            .get(name)
+            .ok_or_else(|| ScheduleError::UnknownDeployment(name.to_owned()))?;
+        while !self.deployments[idx].pods.is_empty() {
+            self.remove_pod(idx);
         }
-        while !self.deployments[name].pods.is_empty() {
-            self.remove_pod(name);
-        }
-        self.deployments.remove(name);
+        // Leave a drained tombstone in the slab so handles stay valid; only
+        // the name mapping goes away (and can be reused).
+        self.by_name.remove(name);
         Ok(())
     }
 
     /// Desired (scheduled) replica count of a deployment, 0 if unknown.
     pub fn replicas(&self, name: &str) -> usize {
-        self.deployments.get(name).map_or(0, |d| d.pods.len())
+        self.deploy_id(name).map_or(0, |id| self.replicas_of(id))
     }
 
     /// Replicas past their startup delay at `now`.
     pub fn ready_replicas(&self, name: &str, now: SimTime) -> usize {
-        self.deployments
-            .get(name)
-            .map_or(0, |d| d.pods.iter().filter(|p| p.is_ready(now)).count())
+        self.deploy_id(name).map_or(0, |id| {
+            self.pods_of(id).iter().filter(|p| p.is_ready(now)).count()
+        })
     }
 
     /// The pods of a deployment (empty if unknown).
     pub fn pods(&self, name: &str) -> &[Pod] {
-        self.deployments.get(name).map_or(&[], |d| &d.pods)
+        self.deploy_id(name).map_or(&[], |id| self.pods_of(id))
     }
 
     /// Deployment names in creation-independent (sorted) order.
     pub fn deployment_names(&self) -> Vec<&str> {
-        self.deployments.keys().map(String::as_str).collect()
+        self.by_name.keys().map(String::as_str).collect()
     }
 
     /// Total memory requested by all pods of all deployments — the paper's
-    /// "memory allocation size" metric.
+    /// "memory allocation size" metric. Tombstones hold no pods and
+    /// contribute nothing.
     pub fn memory_allocated_bytes(&self) -> u64 {
         self.deployments
-            .values()
+            .iter()
             .map(|d| d.spec.resources().memory_bytes * d.pods.len() as u64)
             .sum()
     }
 
     /// Memory requested by one deployment's pods.
     pub fn deployment_memory_bytes(&self, name: &str) -> u64 {
-        self.deployments
-            .get(name)
-            .map_or(0, |d| d.spec.resources().memory_bytes * d.pods.len() as u64)
+        self.deploy_id(name)
+            .map_or(0, |id| self.deployment_memory_of(id))
     }
 
     /// Number of provisioned nodes currently hosting at least one pod —
@@ -413,21 +488,24 @@ impl Cluster {
 
     /// Fails a node: every pod on it vanishes (its deployments shrink —
     /// the autoscaler will notice and re-provision elsewhere) and the node
-    /// stops accepting pods. Returns `(deployment name, pods lost)` pairs.
+    /// stops accepting pods. Returns `(deployment, pods lost)` pairs in
+    /// name-sorted order, so downstream recovery actions (and therefore
+    /// pod-id assignment) are deterministic.
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
-    pub fn fail_node(&mut self, node: usize) -> Vec<(String, usize)> {
+    pub fn fail_node(&mut self, node: usize) -> Vec<(DeployId, usize)> {
         assert!(node < self.nodes.len(), "node {node} out of range");
         self.nodes[node].failed = true;
         let mut losses = Vec::new();
-        for (name, state) in self.deployments.iter_mut() {
+        for &idx in self.by_name.values() {
+            let state = &mut self.deployments[idx];
             let before = state.pods.len();
             state.pods.retain(|p| p.node() != node);
             let lost = before - state.pods.len();
             if lost > 0 {
-                losses.push((name.clone(), lost));
+                losses.push((DeployId(idx), lost));
             }
         }
         self.nodes[node].allocated = ResourceRequest::default();
@@ -681,7 +759,9 @@ mod tests {
             .unwrap();
         assert_eq!(c.nodes_used(), 2);
         let losses = c.fail_node(0);
-        assert_eq!(losses, vec![("d".to_string(), 2)]);
+        assert_eq!(losses.len(), 1);
+        assert_eq!(c.deployment_name(losses[0].0), "d");
+        assert_eq!(losses[0].1, 2);
         assert_eq!(c.replicas("d"), 2);
         assert_eq!(c.failed_nodes(), 1);
         // Re-scaling provisions around the failed node.
@@ -710,6 +790,44 @@ mod tests {
     #[should_panic(expected = "at least one node pool")]
     fn empty_pools_panics() {
         Cluster::with_pools(vec![]);
+    }
+
+    #[test]
+    fn handle_api_matches_name_api() {
+        let mut c = cluster(None);
+        c.create_deployment("a", spec(1000, 4 << 30), 3, SimTime::ZERO)
+            .unwrap();
+        c.create_deployment("b", spec(1000, 2 << 30), 1, SimTime::ZERO)
+            .unwrap();
+        let a = c.deploy_id("a").unwrap();
+        let b = c.deploy_id("b").unwrap();
+        assert_ne!(a, b);
+        assert!(c.deploy_id("nope").is_none());
+        assert_eq!(c.deployment_name(a), "a");
+        assert_eq!(c.replicas_of(a), c.replicas("a"));
+        assert_eq!(c.pods_of(b).len(), c.pods("b").len());
+        assert_eq!(c.deployment_memory_of(a), c.deployment_memory_bytes("a"));
+        c.scale_deployment(a, 5, SimTime::ZERO).unwrap();
+        assert_eq!(c.replicas("a"), 5);
+    }
+
+    #[test]
+    fn handles_survive_deletion_and_recreation() {
+        let mut c = cluster(None);
+        c.create_deployment("d", spec(1000, 1 << 30), 2, SimTime::ZERO)
+            .unwrap();
+        let old = c.deploy_id("d").unwrap();
+        c.delete_deployment("d").unwrap();
+        // The tombstone keeps the old handle valid (drained, not dangling).
+        assert_eq!(c.replicas_of(old), 0);
+        assert_eq!(c.deployment_memory_of(old), 0);
+        // The name is reusable and maps to a fresh handle.
+        c.create_deployment("d", spec(1000, 1 << 30), 1, SimTime::ZERO)
+            .unwrap();
+        let new = c.deploy_id("d").unwrap();
+        assert_ne!(old, new);
+        assert_eq!(c.replicas_of(new), 1);
+        assert_eq!(c.memory_allocated_bytes(), 1 << 30);
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod hpa;
 mod pod;
 mod resources;
 
-pub use cluster::{Cluster, NodePool, ScheduleError};
+pub use cluster::{Cluster, DeployId, NodePool, ScheduleError};
 pub use hardware::{GpuSpec, HardwareProfile};
 pub use hpa::{HpaController, HpaError, HpaPolicy, Observation, ScalingTarget};
 pub use pod::{Pod, PodSpec};

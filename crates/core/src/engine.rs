@@ -9,11 +9,9 @@
 //! (QPS for sparse shards, p95 latency for the frontend, Section IV-D).
 //! This is the machinery behind the paper's Figure 19.
 
-use std::collections::HashMap;
-
-use er_cluster::{Cluster, HpaController, HpaPolicy, Observation, ScalingTarget};
+use er_cluster::{Cluster, DeployId, HpaController, HpaPolicy, Observation, ScalingTarget};
 use er_metrics::{Histogram, QpsWindow, Summary, TimeSeries};
-use er_rpc::{messages, NetworkProfile};
+use er_rpc::messages;
 use er_sim::{EventQueue, SimRng, SimTime};
 use er_units::{Qps, Secs};
 use er_workload::{ArrivalProcess, SlaConfig, TrafficSchedule};
@@ -119,21 +117,89 @@ impl SimulationOutcome {
 enum Event {
     Arrival,
     NodeFailure,
-    SparseArrive { qid: u64, shard: usize },
-    SparseDone { qid: u64, shard: usize },
-    TopDone { qid: u64 },
+    SparseArrive {
+        qid: u64,
+        shard: usize,
+    },
+    /// The last pooled embedding response lands back at the dense shard.
+    ///
+    /// Scheduled once per query instead of one `SparseDone` per embedding
+    /// shard: an intermediate response only touches the query's private
+    /// counter/max, so the shared-state effect (assigning the top-MLP
+    /// phase) collapses into a single event at `max` of the per-shard
+    /// response times — known as soon as the last `SparseArrive` assigns
+    /// its pod. Halves the event volume of the fan-out path with
+    /// bit-identical outcomes.
+    FanIn {
+        qid: u64,
+    },
+    TopDone {
+        qid: u64,
+    },
     MetricsTick,
     HpaTick,
 }
 
 struct QueryState {
     arrive: f64,
+    /// Embedding-shard RPCs whose pod assignment is still pending.
     pending_sparse: usize,
     bottom_start: f64,
     bottom_end: f64,
-    /// When the last pooled embedding arrived back at the dense shard.
+    /// Running max of per-shard response-landing times; once the last
+    /// `SparseArrive` resolves, this is the fan-in instant.
     sparse_done: f64,
     dense_pod: u64,
+}
+
+/// Generational slab of in-flight queries, replacing a `HashMap<u64, _>`.
+///
+/// A query id packs `(generation << 32) | slot`; completed slots go on a
+/// free list and bump their generation, so a stale id (an event outliving
+/// its query) misses the lookup instead of aliasing a recycled slot — the
+/// same defensive behaviour the map's `get(&qid) == None` gave, without
+/// hashing on every event.
+#[derive(Default)]
+struct QuerySlab {
+    slots: Vec<(u32, Option<QueryState>)>,
+    free: Vec<u32>,
+}
+
+impl QuerySlab {
+    fn insert(&mut self, state: QueryState) -> u64 {
+        match self.free.pop() {
+            Some(slot) => {
+                let (gen, q) = &mut self.slots[slot as usize];
+                *q = Some(state);
+                (u64::from(*gen) << 32) | u64::from(slot)
+            }
+            None => {
+                // lint::allow(no_panic): 2^32 concurrently live queries is beyond any simulated workload; overflow is a driver bug
+                let slot = u32::try_from(self.slots.len()).expect("query slab exceeds u32 slots");
+                self.slots.push((0, Some(state)));
+                u64::from(slot)
+            }
+        }
+    }
+
+    fn get_mut(&mut self, qid: u64) -> Option<&mut QueryState> {
+        let (gen, q) = self.slots.get_mut(qid as u32 as usize)?;
+        if u64::from(*gen) != qid >> 32 {
+            return None;
+        }
+        q.as_mut()
+    }
+
+    fn remove(&mut self, qid: u64) -> Option<QueryState> {
+        let (gen, q) = self.slots.get_mut(qid as u32 as usize)?;
+        if u64::from(*gen) != qid >> 32 {
+            return None;
+        }
+        let state = q.take()?;
+        *gen = gen.wrapping_add(1);
+        self.free.push(qid as u32);
+        Some(state)
+    }
 }
 
 /// Mean time spent in each stage of the query path — the decomposition of
@@ -159,7 +225,8 @@ pub struct StageBreakdown {
 
 /// Per-deployment runtime state.
 struct DeployState {
-    name: String,
+    /// Dense cluster handle, resolved once at startup.
+    id: DeployId,
     qps_window: QpsWindow,
     interval_latency: Histogram,
     hpa: HpaController,
@@ -188,17 +255,26 @@ impl Simulation {
 struct Engine<'a> {
     plan: &'a ServingPlan,
     cfg: &'a SimulationConfig,
-    net: NetworkProfile,
     cluster: Cluster,
     queue: EventQueue<Event>,
     arrivals: ArrivalProcess,
-    /// next_free per pod id.
-    pod_free: HashMap<u64, f64>,
-    queries: HashMap<u64, QueryState>,
+    /// next_free per pod, indexed directly by pod id (ids are a dense
+    /// monotone counter); pods never seen yet are implicitly free.
+    pod_free: Vec<f64>,
+    queries: QuerySlab,
     deploys: Vec<DeployState>,
     /// Index of the frontend deployment in `deploys` / `plan.shards`.
     frontend: usize,
-    next_qid: u64,
+    /// Indices of embedding shards in `plan.shards`, precomputed so the
+    /// per-arrival fan-out iterates a fixed slice instead of re-filtering
+    /// (and re-allocating) the shard list.
+    emb_shards: Vec<usize>,
+    /// Request transfer time to each embedding shard (parallel to
+    /// `emb_shards`); depends only on the shard's expected gathers and the
+    /// batch size, so it is computed once instead of per arrival.
+    emb_req_secs: Vec<f64>,
+    /// Response transfer time back from any embedding shard.
+    emb_resp_secs: f64,
     total_queries: u64,
     completed: u64,
     latency: Histogram,
@@ -241,8 +317,9 @@ impl<'a> Engine<'a> {
                 ScalingTarget::LatencyP95(Secs::of(cfg.sla.hpa_threshold_secs()))
             };
             deploys.push(DeployState {
-                name: shard.name.clone(),
-                qps_window: QpsWindow::new(cfg.hpa_interval_secs.max(1.0)),
+                // lint::allow(no_panic): the deployment was created two statements above under this exact name
+                id: cluster.deploy_id(&shard.name).expect("just created"),
+                qps_window: QpsWindow::with_capacity(cfg.hpa_interval_secs.max(1.0), 1024),
                 interval_latency: Histogram::new(),
                 hpa: HpaController::new(HpaPolicy::new(1, cfg.max_replicas, target)),
             });
@@ -278,19 +355,39 @@ impl<'a> Engine<'a> {
         Self {
             plan,
             cfg,
-            net,
             cluster,
             queue,
             arrivals: ArrivalProcess::new(cfg.schedule.clone(), SimRng::seed_from(cfg.seed)),
-            pod_free: HashMap::new(),
-            queries: HashMap::new(),
+            pod_free: Vec::new(),
+            queries: QuerySlab::default(),
             deploys,
             frontend,
-            next_qid: 0,
+            emb_shards: plan
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.role.is_embedding())
+                .map(|(i, _)| i)
+                .collect(),
+            emb_req_secs: plan
+                .shards
+                .iter()
+                .filter(|s| s.role.is_embedding())
+                .map(|s| {
+                    let batch = q.batch_size as u64;
+                    let req =
+                        messages::embedding_request_bytes(s.expected_gathers.ceil() as u64, batch);
+                    net.transfer_secs(req)
+                })
+                .collect(),
+            emb_resp_secs: net.transfer_secs(messages::embedding_response_bytes(
+                q.batch_size as u64,
+                q.embedding_dim() as u64,
+            )),
             total_queries: 0,
             completed: 0,
             latency: Histogram::new(),
-            completion_window: QpsWindow::new(cfg.metrics_interval_secs.max(1.0)),
+            completion_window: QpsWindow::with_capacity(cfg.metrics_interval_secs.max(1.0), 1024),
             stages: StageBreakdown::default(),
             out_qps: TimeSeries::new("achieved_qps"),
             out_target: TimeSeries::new("target_qps"),
@@ -307,15 +404,25 @@ impl<'a> Engine<'a> {
     /// Picks the pod of `deploy` that can start work soonest at `now`,
     /// returning `(pod_id, start_time)`.
     fn assign_pod(&mut self, deploy: usize, now: f64) -> (u64, f64) {
-        let name = &self.deploys[deploy].name;
-        let pods = self.cluster.pods(name);
-        assert!(!pods.is_empty(), "deployment {name} has no pods");
+        let id = self.deploys[deploy].id;
+        let pods = self.cluster.pods_of(id);
+        assert!(
+            !pods.is_empty(),
+            "deployment {} has no pods",
+            self.cluster.deployment_name(id)
+        );
         let mut best = (pods[0].id(), f64::INFINITY);
         for p in pods {
-            let free = self.pod_free.get(&p.id()).copied().unwrap_or(0.0);
+            let free = self.pod_free.get(p.id() as usize).copied().unwrap_or(0.0);
             let start = now.max(p.ready_at().as_secs()).max(free);
             if start < best.1 {
                 best = (p.id(), start);
+                if start <= now {
+                    // `start >= now` for every pod, so an idle, ready pod is
+                    // the global optimum; later pods can only tie, and ties
+                    // go to the earliest pod in deployment order anyway.
+                    break;
+                }
             }
         }
         best
@@ -325,7 +432,13 @@ impl<'a> Engine<'a> {
     /// returning the completion time.
     fn occupy(&mut self, pod: u64, start: f64, busy: f64) -> f64 {
         let end = start + busy;
-        self.pod_free.insert(pod, end);
+        let idx = pod as usize;
+        if idx >= self.pod_free.len() {
+            // Grows only when the autoscaler mints new pod ids; the dense
+            // index stays allocation-free across steady-state events.
+            self.pod_free.resize(idx + 1, 0.0);
+        }
+        self.pod_free[idx] = end;
         end
     }
 
@@ -342,24 +455,19 @@ impl<'a> Engine<'a> {
         self.total_queries += 1;
         let fe = self.frontend;
         self.deploys[fe].qps_window.record(now);
-        let qid = self.next_qid;
-        self.next_qid += 1;
 
         let (pod, start) = self.assign_pod(self.frontend, now);
         match self.plan.shards[self.frontend].service {
             ShardService::Monolithic { secs } => {
                 let end = self.occupy(pod, start, secs);
-                self.queries.insert(
-                    qid,
-                    QueryState {
-                        arrive: now,
-                        pending_sparse: 0,
-                        bottom_start: start,
-                        bottom_end: end,
-                        sparse_done: start,
-                        dense_pod: pod,
-                    },
-                );
+                let qid = self.queries.insert(QueryState {
+                    arrive: now,
+                    pending_sparse: 0,
+                    bottom_start: start,
+                    bottom_end: end,
+                    sparse_done: start,
+                    dense_pod: pod,
+                });
                 self.stages.frontend_wait.record(start - now);
                 self.stages.frontend_service.record(secs);
                 self.queue
@@ -367,32 +475,22 @@ impl<'a> Engine<'a> {
             }
             ShardService::Dense { bottom_secs, .. } => {
                 let bottom_end = self.occupy(pod, start, bottom_secs);
-                let emb: Vec<usize> = (0..self.plan.shards.len())
-                    .filter(|&i| self.plan.shards[i].role.is_embedding())
-                    .collect();
-                let dim = self.plan.model.embedding_dim() as u64;
-                let batch = self.plan.model.batch_size as u64;
-                self.queries.insert(
-                    qid,
-                    QueryState {
-                        arrive: now,
-                        pending_sparse: emb.len(),
-                        bottom_start: start,
-                        bottom_end,
-                        sparse_done: start,
-                        dense_pod: pod,
-                    },
-                );
+                let qid = self.queries.insert(QueryState {
+                    arrive: now,
+                    pending_sparse: self.emb_shards.len(),
+                    bottom_start: start,
+                    bottom_end,
+                    sparse_done: start,
+                    dense_pod: pod,
+                });
                 self.stages.frontend_wait.record(start - now);
                 self.stages.frontend_service.record(bottom_secs);
-                for shard in emb {
+                for k in 0..self.emb_shards.len() {
+                    let shard = self.emb_shards[k];
                     // HPA sees offered load: completions saturate at
                     // capacity and would hide unserved demand.
                     self.deploys[shard].qps_window.record(now);
-                    let n_s = self.plan.shards[shard].expected_gathers;
-                    let req = messages::embedding_request_bytes(n_s.ceil() as u64, batch);
-                    let _ = dim; // response sizing happens on the way back
-                    let at = start + self.net.transfer_secs(req);
+                    let at = start + self.emb_req_secs[k];
                     self.queue
                         .schedule(SimTime::from_secs(at), Event::SparseArrive { qid, shard });
                 }
@@ -407,44 +505,44 @@ impl<'a> Engine<'a> {
             unreachable!("sparse events only target sparse shards")
         };
         let end = self.occupy(pod, start, secs);
-        let dim = self.plan.model.embedding_dim() as u64;
-        let batch = self.plan.model.batch_size as u64;
-        let back = self
-            .net
-            .transfer_secs(messages::embedding_response_bytes(batch, dim));
-        self.queue.schedule(
-            SimTime::from_secs(end + back),
-            Event::SparseDone { qid, shard },
-        );
-    }
-
-    fn on_sparse_done(&mut self, now: f64, qid: u64, _shard: usize) {
-        let Some(q) = self.queries.get_mut(&qid) else {
+        let done = end + self.emb_resp_secs;
+        let Some(q) = self.queries.get_mut(qid) else {
             return;
         };
         q.pending_sparse -= 1;
-        q.sparse_done = q.sparse_done.max(now);
+        q.sparse_done = q.sparse_done.max(done);
         if q.pending_sparse == 0 {
-            let ShardService::Dense { top_secs, .. } = self.plan.shards[self.frontend].service
-            else {
-                unreachable!("fan-in only happens with a dense frontend")
-            };
-            let pod = q.dense_pod;
-            let bottom_end = q.bottom_end;
-            let bottom_start = q.bottom_start;
-            let free = self.pod_free.get(&pod).copied().unwrap_or(0.0);
-            let start = now.max(bottom_end).max(free);
-            let end = self.occupy(pod, start, top_secs);
-            self.stages.sparse_phase.record(now - bottom_start);
-            self.stages.top_wait.record(start - now.max(bottom_end));
-            self.stages.top_service.record(top_secs);
+            // All response times are now known; the fan-in fires when the
+            // slowest one lands. Intermediate responses have no effect on
+            // shared state, so one event replaces one per shard.
+            let at = q.sparse_done;
             self.queue
-                .schedule(SimTime::from_secs(end), Event::TopDone { qid });
+                .schedule(SimTime::from_secs(at), Event::FanIn { qid });
         }
     }
 
+    fn on_fan_in(&mut self, now: f64, qid: u64) {
+        let Some(q) = self.queries.get_mut(qid) else {
+            return;
+        };
+        let ShardService::Dense { top_secs, .. } = self.plan.shards[self.frontend].service else {
+            unreachable!("fan-in only happens with a dense frontend")
+        };
+        let pod = q.dense_pod;
+        let bottom_end = q.bottom_end;
+        let bottom_start = q.bottom_start;
+        let free = self.pod_free.get(pod as usize).copied().unwrap_or(0.0);
+        let start = now.max(bottom_end).max(free);
+        let end = self.occupy(pod, start, top_secs);
+        self.stages.sparse_phase.record(now - bottom_start);
+        self.stages.top_wait.record(start - now.max(bottom_end));
+        self.stages.top_service.record(top_secs);
+        self.queue
+            .schedule(SimTime::from_secs(end), Event::TopDone { qid });
+    }
+
     fn on_top_done(&mut self, now: f64, qid: u64) {
-        let Some(q) = self.queries.remove(&qid) else {
+        let Some(q) = self.queries.remove(qid) else {
             return;
         };
         let latency = now - q.arrive + self.client_rtt;
@@ -460,11 +558,11 @@ impl<'a> Engine<'a> {
     /// immediately (on surviving nodes, paying the startup delay).
     fn on_node_failure(&mut self, now: f64) {
         let losses = self.cluster.fail_node(0);
-        for (name, lost) in losses {
-            let desired = self.cluster.replicas(&name) + lost;
+        for (id, lost) in losses {
+            let desired = self.cluster.replicas_of(id) + lost;
             let _ = self
                 .cluster
-                .scale_to(&name, desired, SimTime::from_secs(now));
+                .scale_deployment(id, desired, SimTime::from_secs(now));
         }
     }
 
@@ -478,7 +576,7 @@ impl<'a> Engine<'a> {
         let replicas: usize = self
             .deploys
             .iter()
-            .map(|d| self.cluster.replicas(&d.name))
+            .map(|d| self.cluster.replicas_of(d.id))
             .sum();
         self.out_replicas.push(now, replicas as f64);
 
@@ -513,8 +611,8 @@ impl<'a> Engine<'a> {
             }
         };
         for i in 0..self.deploys.len() {
-            let name = self.deploys[i].name.clone();
-            let current = self.cluster.replicas(&name);
+            let id = self.deploys[i].id;
+            let current = self.cluster.replicas_of(id);
             if current == 0 {
                 continue;
             }
@@ -551,7 +649,7 @@ impl<'a> Engine<'a> {
                     // A full cluster is not fatal: keep serving as-is.
                     let _ = self
                         .cluster
-                        .scale_to(&name, desired, SimTime::from_secs(now));
+                        .scale_deployment(id, desired, SimTime::from_secs(now));
                 }
             }
         }
@@ -572,7 +670,7 @@ impl<'a> Engine<'a> {
                 Event::Arrival => self.on_arrival(now),
                 Event::NodeFailure => self.on_node_failure(now),
                 Event::SparseArrive { qid, shard } => self.on_sparse_arrive(now, qid, shard),
-                Event::SparseDone { qid, shard } => self.on_sparse_done(now, qid, shard),
+                Event::FanIn { qid } => self.on_fan_in(now, qid),
                 Event::TopDone { qid } => self.on_top_done(now, qid),
                 Event::MetricsTick => self.on_metrics_tick(now),
                 Event::HpaTick => self.on_hpa_tick(now),

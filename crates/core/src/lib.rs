@@ -47,6 +47,7 @@ mod sharded;
 mod shards;
 mod sizing;
 pub mod utility;
+mod workspace;
 
 pub use calib::Calibration;
 pub use engine::{Simulation, SimulationConfig, SimulationOutcome, StageBreakdown};
@@ -59,3 +60,4 @@ pub use race::{RaceChecker, RaceEvent, VectorClock};
 pub use sharded::ShardedDlrm;
 pub use shards::{ShardRole, ShardService, ShardSpec};
 pub use sizing::{SteadyState, STEADY_UTILIZATION};
+pub use workspace::ForwardWorkspace;

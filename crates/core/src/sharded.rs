@@ -17,11 +17,11 @@
 use std::sync::Arc;
 
 use er_distribution::sorting::HotnessPermutation;
-use er_model::{Dlrm, EmbeddingTable, QueryBatch, TableLookup};
-use er_partition::{bucketize, bucketize_tables, PartitionPlan};
+use er_model::{dot_interaction_into, Dlrm, EmbeddingTable, QueryBatch, TableLookup};
+use er_partition::{bucketize, bucketize_into, bucketize_tables, PartitionPlan};
 use er_tensor::Matrix;
 
-use crate::ParallelShardExecutor;
+use crate::{ForwardWorkspace, ParallelShardExecutor};
 
 /// A DLRM decomposed into embedding shards, functionally equivalent to the
 /// monolithic model it was built from.
@@ -264,6 +264,77 @@ impl ShardedDlrm {
         inner.dlrm.forward_top(&bottom, &pooled)
     }
 
+    /// Creates a [`ForwardWorkspace`] sized for this model, for use with
+    /// [`ShardedDlrm::forward_ws`].
+    pub fn workspace(&self) -> ForwardWorkspace {
+        ForwardWorkspace::for_tables(self.inner.plans.len())
+    }
+
+    /// Sequential forward pass through caller-owned scratch: the same
+    /// hotness-remap → bucketize → per-shard gather → ascending merge →
+    /// interaction → MLP pipeline as [`ShardedDlrm::forward_seq`], with
+    /// every intermediate recycled from `ws`. Each stage is bit-identical
+    /// to its allocating counterpart (per-shard partials are still pooled
+    /// into a zeroed scratch and then summed in ascending shard order, so
+    /// the FP op sequence is unchanged), and once `ws` is warm a call
+    /// performs zero heap allocations.
+    ///
+    /// The returned reference points into `ws` and is valid until the next
+    /// use of the workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query addresses a different number of tables than the
+    /// model has.
+    pub fn forward_ws<'w>(&self, query: &QueryBatch, ws: &'w mut ForwardWorkspace) -> &'w Matrix {
+        self.check_query(query);
+        let inner = &self.inner;
+        let tables = query.lookups.len();
+        // Grow-only guard so a workspace built for a smaller model still
+        // works; `resize` would re-allocate its template matrix every call.
+        while ws.pooled.len() < tables {
+            ws.pooled.push(Matrix::zeros(1, 1));
+        }
+        for (t, lookup) in query.lookups.iter().enumerate() {
+            ws.sorted.clear();
+            ws.sorted.extend(
+                lookup
+                    .indices()
+                    .iter()
+                    .map(|&i| inner.perms[t].to_sorted(i)),
+            );
+            bucketize_into(
+                &ws.sorted,
+                lookup.offsets(),
+                &inner.plans[t],
+                &mut ws.buckets,
+            );
+            let dim = inner.dlrm.tables()[t].dim() as usize;
+            ws.pooled[t].reshape_zeroed(lookup.num_inputs(), dim);
+            for (s, table) in inner.shard_tables[t].iter().enumerate() {
+                table.gather_pool_into(
+                    &ws.buckets.indices[s],
+                    &ws.buckets.offsets[s],
+                    &mut ws.partial,
+                );
+                ws.pooled[t]
+                    .add_assign(&ws.partial)
+                    // lint::allow(no_panic): pooled and partial are both (num_inputs x dim) by construction
+                    .expect("shapes match by construction");
+            }
+        }
+        let bottom =
+            inner
+                .dlrm
+                .bottom_mlp()
+                .forward_into(&query.dense, &mut ws.mlp_a, &mut ws.mlp_b);
+        dot_interaction_into(bottom, &ws.pooled[..tables], &mut ws.interacted);
+        inner
+            .dlrm
+            .top_mlp()
+            .forward_into(&ws.interacted, &mut ws.mlp_a, &mut ws.mlp_b)
+    }
+
     fn check_query(&self, query: &QueryBatch) {
         assert_eq!(
             query.lookups.len(),
@@ -283,14 +354,15 @@ impl Inner {
         let buckets = bucketize(sorted.indices(), sorted.offsets(), &self.plans[t]);
         let dim = self.dlrm.tables()[t].dim() as usize;
         let mut pooled = Matrix::zeros(lookup.num_inputs(), dim);
+        let mut partial = Matrix::zeros(lookup.num_inputs(), dim);
         for (s, table) in self.shard_tables[t].iter().enumerate() {
-            let shard_lookup =
-                TableLookup::new(buckets.indices[s].clone(), buckets.offsets[s].clone())
-                    // lint::allow(no_panic): bucketize emits offsets starting at 0, non-decreasing, in range
-                    .expect("bucketize emits valid offsets");
-            let partial = table.gather_pool_fused(&shard_lookup);
-            // lint::allow(no_panic): pooled and partial are both (num_inputs x dim) by construction
-            pooled = pooled.add(&partial).expect("shapes match by construction");
+            // Gathering straight off the bucketized slices skips the
+            // per-shard index/offset clones a TableLookup would need.
+            table.gather_pool_into(&buckets.indices[s], &buckets.offsets[s], &mut partial);
+            pooled
+                .add_assign(&partial)
+                // lint::allow(no_panic): pooled and partial are both (num_inputs x dim) by construction
+                .expect("shapes match by construction");
         }
         pooled
     }
@@ -398,6 +470,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn workspace_forward_is_bit_identical_to_sequential() {
+        // One workspace recycled across queries of a non-trivial sharding:
+        // every call must reproduce the allocating oracle bit-for-bit.
+        let (cfg, _, sharded) = setup(300, 3, vec![30, 120, 300]);
+        let gen = QueryGenerator::new(&cfg);
+        let mut rng = SimRng::seed_from(41);
+        let mut ws = sharded.workspace();
+        for i in 0..6 {
+            let q = gen.generate(&mut rng);
+            assert_eq!(
+                *sharded.forward_ws(&q, &mut ws),
+                sharded.forward_seq(&q),
+                "query {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_survives_model_switch() {
+        // A workspace warmed on one sharding keeps matching when reused on
+        // a model with more tables and different shard counts.
+        let (cfg_a, _, sharded_a) = setup(100, 2, vec![10, 50, 100]);
+        let (cfg_b, _, sharded_b) = setup(200, 4, vec![40, 200]);
+        let mut ws = sharded_a.workspace();
+        let q_a = QueryGenerator::new(&cfg_a).generate(&mut SimRng::seed_from(2));
+        assert_eq!(
+            *sharded_a.forward_ws(&q_a, &mut ws),
+            sharded_a.forward_seq(&q_a)
+        );
+        let q_b = QueryGenerator::new(&cfg_b).generate(&mut SimRng::seed_from(3));
+        assert_eq!(
+            *sharded_b.forward_ws(&q_b, &mut ws),
+            sharded_b.forward_seq(&q_b)
+        );
+        assert_eq!(
+            *sharded_a.forward_ws(&q_a, &mut ws),
+            sharded_a.forward_seq(&q_a)
+        );
     }
 
     #[test]

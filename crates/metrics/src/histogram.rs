@@ -37,10 +37,17 @@ pub struct Histogram {
     /// Samples equal to zero get their own bucket: log bucketing cannot
     /// represent them.
     zeros: u64,
+    /// Touched bucket range `[lo, hi)`: every non-zero count lies inside.
+    /// Lets `reset` and `percentile` work over the few dozen buckets a
+    /// workload actually hits instead of all 1728 — the histogram behind a
+    /// metrics tick is cleared every simulated second.
+    lo: usize,
+    hi: usize,
 }
 
 impl Histogram {
-    /// Creates an empty histogram.
+    /// Creates an empty histogram. The bucket array is allocated once here
+    /// and never grows: `record` is O(1) with no allocation.
     pub fn new() -> Self {
         Self {
             counts: vec![0; SUB_BUCKETS * EXPONENTS],
@@ -49,6 +56,8 @@ impl Histogram {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             zeros: 0,
+            lo: SUB_BUCKETS * EXPONENTS,
+            hi: 0,
         }
     }
 
@@ -71,6 +80,8 @@ impl Histogram {
         } else {
             let idx = Self::bucket_index(value);
             self.counts[idx] += 1;
+            self.lo = self.lo.min(idx);
+            self.hi = self.hi.max(idx + 1);
         }
     }
 
@@ -165,9 +176,11 @@ impl Histogram {
         if rank <= self.zeros {
             return 0.0;
         }
+        // Buckets outside [lo, hi) are all zero, so starting the scan at
+        // `lo` visits exactly the same non-zero counts in the same order.
         let mut seen = self.zeros;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
+        for idx in self.lo..self.hi {
+            seen += self.counts[idx];
             if seen >= rank {
                 return Self::bucket_value(idx).clamp(self.min, self.max);
             }
@@ -177,9 +190,11 @@ impl Histogram {
 
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+        for idx in other.lo..other.hi {
+            self.counts[idx] += other.counts[idx];
         }
+        self.lo = self.lo.min(other.lo);
+        self.hi = self.hi.max(other.hi);
         self.total += other.total;
         self.sum += other.sum;
         self.zeros += other.zeros;
@@ -189,9 +204,15 @@ impl Histogram {
         }
     }
 
-    /// Clears all recorded samples.
+    /// Clears all recorded samples. Only the touched bucket range is
+    /// zeroed, so the repeated reset on every metrics tick costs O(buckets
+    /// actually hit), not O(1728).
     pub fn reset(&mut self) {
-        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.counts[self.lo.min(self.hi)..self.hi]
+            .iter_mut()
+            .for_each(|c| *c = 0);
+        self.lo = self.counts.len();
+        self.hi = 0;
         self.total = 0;
         self.sum = 0.0;
         self.min = f64::INFINITY;
@@ -323,6 +344,41 @@ mod tests {
         let mut h = Histogram::new();
         h.record(1.0);
         h.percentile(1.5);
+    }
+
+    #[test]
+    fn reset_then_reuse_matches_fresh_histogram() {
+        // The touched-range reset must leave no stale counts behind.
+        let mut reused = Histogram::new();
+        for v in [0.001, 3.0, 1e6, 0.5] {
+            reused.record(v);
+        }
+        reused.reset();
+        let mut fresh = Histogram::new();
+        for v in [2.0, 7.0, 11.0] {
+            reused.record(v);
+            fresh.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(reused.percentile(q), fresh.percentile(q), "q={q}");
+        }
+        assert_eq!(reused.count(), fresh.count());
+        assert_eq!(reused.sum(), fresh.sum());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(4.0);
+        a.record(16.0);
+        let p95_before = a.percentile(0.95);
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.percentile(0.95), p95_before);
+
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.percentile(0.5), a.percentile(0.5));
     }
 
     #[test]

@@ -34,13 +34,28 @@ impl QpsWindow {
     ///
     /// Panics if `window_secs` is not strictly positive.
     pub fn new(window_secs: f64) -> Self {
+        Self::with_capacity(window_secs, 64)
+    }
+
+    /// Creates a window of `window_secs` seconds with ring-buffer room for
+    /// `capacity` in-window events before any reallocation.
+    ///
+    /// The deque is a preallocated ring: `record` is O(1) amortized, and
+    /// once capacity covers the peak in-window occupancy the window never
+    /// allocates again — eviction recycles the ring in place. Size this to
+    /// `window_secs * peak_rate` on hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs` is not strictly positive.
+    pub fn with_capacity(window_secs: f64, capacity: usize) -> Self {
         assert!(
             window_secs > 0.0 && window_secs.is_finite(),
             "window must be positive, got {window_secs}"
         );
         Self {
             window: window_secs,
-            events: VecDeque::new(),
+            events: VecDeque::with_capacity(capacity),
             total: 0,
         }
     }
@@ -131,6 +146,30 @@ mod tests {
         }
         assert_eq!(w.qps_at(0.5), 100.0);
         assert_eq!(w.qps_at(1.5), 0.0);
+    }
+
+    #[test]
+    fn preallocated_window_matches_default() {
+        let mut a = QpsWindow::new(2.0);
+        let mut b = QpsWindow::with_capacity(2.0, 4096);
+        for i in 0..500 {
+            let t = i as f64 * 0.01;
+            a.record(t);
+            b.record(t);
+            assert_eq!(a.qps_at(t), b.qps_at(t));
+        }
+        assert_eq!(a.total(), b.total());
+    }
+
+    #[test]
+    fn steady_state_does_not_grow_capacity() {
+        let mut w = QpsWindow::with_capacity(1.0, 256);
+        // 100 events/sec for 20 seconds: occupancy stays ~100 << 256.
+        for i in 0..2000 {
+            w.record(i as f64 * 0.01);
+        }
+        assert!(w.in_window() <= 101);
+        assert_eq!(w.total(), 2000);
     }
 
     #[test]

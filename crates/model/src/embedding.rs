@@ -140,6 +140,23 @@ impl EmbeddingTable {
         out
     }
 
+    /// Fused gather+pool into a caller-owned matrix (reshaped in place)
+    /// over raw CSR `(indices, offsets)` arrays — the allocation-free form
+    /// of [`EmbeddingTable::gather_pool_fused`], bit-identical to it. Takes
+    /// raw slices instead of a [`TableLookup`] so callers holding bucketized
+    /// per-shard arrays (see `er_partition::bucketize_into`) can gather
+    /// without materializing a lookup; once `out`'s capacity is warm the
+    /// call performs no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty, any offset run is out of bounds or
+    /// descending, or any index is out of range.
+    pub fn gather_pool_into(&self, indices: &[u32], offsets: &[u32], out: &mut Matrix) {
+        out.reshape_zeroed(offsets.len(), self.dim as usize);
+        er_tensor::gather_pool_csr(&self.data, self.rows, indices, offsets, out);
+    }
+
     /// Extracts the sub-table covering rows `[start, end)` — how a
     /// partitioned embedding shard's storage is built.
     ///
@@ -352,6 +369,25 @@ mod tests {
         let t = tiny();
         let lookup = TableLookup::new(vec![4], vec![0]).unwrap();
         t.gather_pool_fused(&lookup);
+    }
+
+    #[test]
+    fn gather_into_matches_fused_with_dirty_reused_output() {
+        let mut out = Matrix::filled(1, 1, 42.0);
+        for dim in [1u32, 4, 11] {
+            let t = EmbeddingTable::with_seed(50, dim, 21);
+            let lookup =
+                TableLookup::new(vec![0, 49, 7, 7, 23, 12, 3, 44, 44, 44], vec![0, 2, 2, 6])
+                    .unwrap();
+            t.gather_pool_into(lookup.indices(), lookup.offsets(), &mut out);
+            assert_eq!(out, t.gather_pool_fused(&lookup), "dim {dim}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_into_rejects_bad_ids() {
+        tiny().gather_pool_into(&[4], &[0], &mut Matrix::zeros(1, 1));
     }
 
     #[test]

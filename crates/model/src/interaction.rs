@@ -26,6 +26,22 @@ use er_tensor::Matrix;
 /// assert_eq!(out.shape(), (2, 4 + 1)); // d=4 plus one pairwise dot
 /// ```
 pub fn dot_interaction(dense: &Matrix, pooled: &[Matrix]) -> Matrix {
+    let mut out = Matrix::zeros(1, 1);
+    dot_interaction_into(dense, pooled, &mut out);
+    out
+}
+
+/// [`dot_interaction`] into a caller-owned matrix (reshaped in place), with
+/// no per-row scratch: each pair's operands are addressed directly instead
+/// of staging the latent vectors in a temporary list. Every dot product
+/// runs in the same order on the same slices, so the result is
+/// bit-identical to [`dot_interaction`]; once `out`'s capacity is warm the
+/// call performs no allocation.
+///
+/// # Panics
+///
+/// Panics if any pooled matrix disagrees with `dense` in shape.
+pub fn dot_interaction_into(dense: &Matrix, pooled: &[Matrix], out: &mut Matrix) {
     let (batch, d) = dense.shape();
     for (t, p) in pooled.iter().enumerate() {
         assert_eq!(
@@ -38,25 +54,26 @@ pub fn dot_interaction(dense: &Matrix, pooled: &[Matrix]) -> Matrix {
     }
     let n = pooled.len() + 1;
     let pairs = n * (n - 1) / 2;
-    let mut out = Matrix::zeros(batch, d + pairs);
+    out.reshape_zeroed(batch, d + pairs);
     for b in 0..batch {
-        // Assemble the n latent vectors for this batch row.
-        let mut vectors: Vec<&[f32]> = Vec::with_capacity(n);
-        vectors.push(dense.row(b));
-        for p in pooled {
-            vectors.push(p.row(b));
-        }
         let row = out.row_mut(b);
-        row[..d].copy_from_slice(vectors[0]);
+        row[..d].copy_from_slice(dense.row(b));
         let mut k = d;
         for i in 0..n {
+            // Latent vector 0 is the dense row; vector i > 0 is table i-1's
+            // pooled row. j > i >= 0 means the right operand is always a
+            // pooled row.
+            let vi = if i == 0 {
+                dense.row(b)
+            } else {
+                pooled[i - 1].row(b)
+            };
             for j in (i + 1)..n {
-                row[k] = er_tensor::reduce::dot_f32(vectors[i], vectors[j]);
+                row[k] = er_tensor::reduce::dot_f32(vi, pooled[j - 1].row(b));
                 k += 1;
             }
         }
     }
-    out
 }
 
 /// FLOPs of the dot interaction for a batch: each of the `(n+1)n/2` pairs
@@ -107,6 +124,19 @@ mod tests {
         let out = dot_interaction(&dense, &[e]);
         assert_eq!(out.row(0), &[1.0, 10.0]);
         assert_eq!(out.row(1), &[2.0, 40.0]);
+    }
+
+    #[test]
+    fn into_variant_matches_with_dirty_reused_output() {
+        let mut out = Matrix::filled(9, 9, -3.0);
+        for tables in [0usize, 1, 3] {
+            let dense = Matrix::from_rows(&[&[1.0, 2.0, -0.5], &[0.25, -4.0, 3.0]]).unwrap();
+            let pooled: Vec<Matrix> = (0..tables)
+                .map(|t| Matrix::filled(2, 3, t as f32 - 0.5))
+                .collect();
+            dot_interaction_into(&dense, &pooled, &mut out);
+            assert_eq!(out, dot_interaction(&dense, &pooled), "tables={tables}");
+        }
     }
 
     #[test]

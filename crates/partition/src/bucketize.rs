@@ -77,6 +77,30 @@ impl BucketizedLookup {
 /// assert_eq!(b.offsets[1], vec![0, 1]);
 /// ```
 pub fn bucketize(indices: &[u32], offsets: &[u32], plan: &PartitionPlan) -> BucketizedLookup {
+    let mut out = BucketizedLookup {
+        indices: Vec::new(),
+        offsets: Vec::new(),
+    };
+    bucketize_into(indices, offsets, plan, &mut out);
+    out
+}
+
+/// [`bucketize`] into a caller-owned [`BucketizedLookup`], clearing and
+/// refilling its per-shard vectors in place. Once every vector's capacity
+/// covers the workload's peak per-shard gather count the call performs no
+/// allocation — the remap step of the zero-allocation forward workspace.
+/// Output is identical to [`bucketize`]'s regardless of `out`'s previous
+/// contents or shard count.
+///
+/// # Panics
+///
+/// Panics under [`bucketize`]'s contract.
+pub fn bucketize_into(
+    indices: &[u32],
+    offsets: &[u32],
+    plan: &PartitionPlan,
+    out: &mut BucketizedLookup,
+) {
     assert!(!offsets.is_empty(), "offset array must be non-empty");
     assert_eq!(offsets[0], 0, "offset array must start at 0");
     for w in offsets.windows(2) {
@@ -89,10 +113,16 @@ pub fn bucketize(indices: &[u32], offsets: &[u32], plan: &PartitionPlan) -> Buck
 
     let num_shards = plan.num_shards();
     let num_inputs = offsets.len();
-    let mut out = BucketizedLookup {
-        indices: vec![Vec::new(); num_shards],
-        offsets: vec![Vec::with_capacity(num_inputs); num_shards],
-    };
+    out.indices.truncate(num_shards);
+    out.offsets.truncate(num_shards);
+    out.indices.resize_with(num_shards, Vec::new);
+    out.offsets.resize_with(num_shards, Vec::new);
+    for v in &mut out.indices {
+        v.clear();
+    }
+    for v in &mut out.offsets {
+        v.clear();
+    }
 
     for input in 0..num_inputs {
         // Open this input's range in every shard.
@@ -110,7 +140,6 @@ pub fn bucketize(indices: &[u32], offsets: &[u32], plan: &PartitionPlan) -> Buck
             out.indices[s].push(id - base as u32);
         }
     }
-    out
 }
 
 /// Bucketizes many tables' lookups at once, table-parallel across up to
@@ -298,6 +327,30 @@ mod tests {
                 expect,
                 "threads={threads}"
             );
+        }
+    }
+
+    #[test]
+    fn bucketize_into_reuse_matches_fresh_calls() {
+        // One reused output cycles through plans with different shard
+        // counts and stale contents; every refill must equal a fresh call.
+        let mut out = BucketizedLookup {
+            indices: vec![vec![99, 98]; 7],
+            offsets: vec![vec![5]; 7],
+        };
+        let cases: Vec<(PartitionPlan, Vec<u32>, Vec<u32>)> = vec![
+            (fig11_plan(), vec![1, 7, 3, 6, 9, 2], vec![0, 2]),
+            (PartitionPlan::single(10), vec![4, 9, 0, 7], vec![0, 1, 3]),
+            (
+                PartitionPlan::new(vec![2, 5, 10], 10).unwrap(),
+                vec![9, 1, 1, 4, 0, 6, 3, 2],
+                vec![0, 3, 3, 6],
+            ),
+            (fig11_plan(), vec![], vec![0, 0, 0]),
+        ];
+        for (plan, indices, offsets) in &cases {
+            bucketize_into(indices, offsets, plan, &mut out);
+            assert_eq!(out, bucketize(indices, offsets, plan));
         }
     }
 

@@ -120,6 +120,11 @@ impl LeastOutstanding {
 impl Balancer for LeastOutstanding {
     fn pick(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot balance over zero replicas");
+        // Scale-in discards the dead replicas' counters: their in-flight
+        // requests died with the pods and will never complete, so a later
+        // scale-out must see fresh replicas at zero charge — not replicas
+        // permanently avoided for requests that can no longer finish.
+        self.outstanding.truncate(n);
         if self.outstanding.len() < n {
             self.outstanding.resize(n, 0);
         }
@@ -182,6 +187,9 @@ impl PowerOfTwoChoices {
 impl Balancer for PowerOfTwoChoices {
     fn pick(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot balance over zero replicas");
+        // Same scale-in hardening as LeastOutstanding: drop counters for
+        // replicas the autoscaler removed so revived IDs start at zero.
+        self.outstanding.truncate(n);
         if self.outstanding.len() < n {
             self.outstanding.resize(n, 0);
         }
@@ -265,6 +273,40 @@ mod tests {
             assert_eq!(r, 1);
             lb.on_complete(1);
         }
+    }
+
+    #[test]
+    fn scale_in_discards_stale_outstanding_charge() {
+        let mut lb = LeastOutstanding::new();
+        for _ in 0..8 {
+            lb.pick(8); // every replica carries one in-flight request
+        }
+        // The autoscaler kills replicas 2..8 with requests in flight —
+        // those completions will never arrive. The next pick truncates
+        // their counters.
+        assert!(lb.pick(2) < 2);
+        assert_eq!(lb.outstanding(5), 0);
+        lb.on_complete(5); // late completion from a dead pod: ignored
+        assert_eq!(lb.outstanding(5), 0);
+        // Scale back out: the revived replica 2 starts at zero charge and
+        // wins over the still-busy survivors instead of being starved by
+        // phantom load.
+        assert_eq!(lb.pick(8), 2);
+    }
+
+    #[test]
+    fn p2c_scale_in_discards_stale_outstanding_charge() {
+        use er_sim::SimRng;
+        let mut p2c = PowerOfTwoChoices::new(SimRng::seed_from(17));
+        for _ in 0..16 {
+            p2c.pick(8);
+        }
+        assert!(p2c.pick(2) < 2);
+        for dead in 2..8 {
+            assert_eq!(p2c.outstanding(dead), 0, "replica {dead}");
+        }
+        p2c.on_complete(7); // late completion from a dead pod: ignored
+        assert_eq!(p2c.outstanding(7), 0);
     }
 
     #[test]

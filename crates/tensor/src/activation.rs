@@ -47,6 +47,17 @@ impl Activation {
         }
     }
 
+    /// Applies the activation element-wise in place — the allocation-free
+    /// form of [`Activation::apply`], bit-identical to it.
+    pub fn apply_in_place(self, m: &mut Matrix) {
+        if self == Activation::Identity {
+            return;
+        }
+        for x in m.as_mut_slice() {
+            *x = self.eval(*x);
+        }
+    }
+
     /// FLOPs charged per element: ReLU and Identity are free at the accounting
     /// granularity the paper uses; sigmoid costs a handful of operations.
     pub fn flops_per_element(self) -> u64 {
@@ -88,6 +99,16 @@ mod tests {
         let y = Activation::Sigmoid.apply(&x);
         assert_eq!(y.get(0, 0), Activation::Sigmoid.eval(-1.0));
         assert_eq!(y.get(0, 1), Activation::Sigmoid.eval(1.0));
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply() {
+        let x = Matrix::from_rows(&[&[-2.0, 0.0, 3.5]]).unwrap();
+        for act in [Activation::Relu, Activation::Sigmoid, Activation::Identity] {
+            let mut m = x.clone();
+            act.apply_in_place(&mut m);
+            assert_eq!(m, act.apply(&x), "{act:?}");
+        }
     }
 
     #[test]

@@ -104,6 +104,26 @@ impl Linear {
         self.activation.apply(&z)
     }
 
+    /// Forward pass writing into `out` (reshaped in place) instead of
+    /// allocating: matmul into the reused buffer, then bias and activation
+    /// applied in place. Each step is bit-identical to its allocating
+    /// counterpart, so `forward_into` reproduces [`Linear::forward`]
+    /// exactly; once `out`'s capacity is warm the call performs no
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim()`.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_blocked_into(&self.weights, out)
+            // lint::allow(no_panic): documented panic surface of forward_into(): input width must match
+            .unwrap_or_else(|e| panic!("linear layer shape mismatch: {e}"));
+        out.add_row_broadcast_in_place(&self.bias)
+            // lint::allow(no_panic): bias length equals out_dim since construction
+            .expect("bias width checked at construction");
+        self.activation.apply_in_place(out);
+    }
+
     /// Number of parameters (weights + biases).
     pub fn param_count(&self) -> u64 {
         (self.weights.rows() * self.weights.cols() + self.bias.len()) as u64
@@ -178,6 +198,24 @@ mod tests {
                 assert!(v.abs() <= bound);
             }
         }
+    }
+
+    #[test]
+    fn forward_into_is_bit_identical_to_forward() {
+        let mut out = Matrix::zeros(1, 1);
+        for act in [Activation::Relu, Activation::Sigmoid, Activation::Identity] {
+            let layer = Linear::with_seed(7, 11, act, 17);
+            let x = Matrix::filled(3, 7, -0.6);
+            layer.forward_into(&x, &mut out);
+            assert_eq!(out, layer.forward(&x), "{act:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn forward_into_rejects_wrong_input_width() {
+        let layer = Linear::with_seed(4, 2, Activation::Relu, 0);
+        layer.forward_into(&Matrix::zeros(1, 3), &mut Matrix::zeros(1, 1));
     }
 
     #[test]

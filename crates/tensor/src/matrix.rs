@@ -181,6 +181,27 @@ impl Matrix {
         &self.data
     }
 
+    /// The flat row-major buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reshapes this matrix to `rows x cols` with every element zeroed,
+    /// reusing the existing buffer. Once the buffer's capacity covers the
+    /// largest shape a caller cycles through, this never allocates — the
+    /// basis of the zero-allocation forward workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Matrix product `self * other`.
     ///
     /// # Errors
@@ -242,6 +263,32 @@ impl Matrix {
             other.cols,
         );
         Ok(out)
+    }
+
+    /// Like [`Matrix::matmul_blocked`], but writes the product into `out`
+    /// (reshaped and zeroed in place) instead of allocating a fresh matrix.
+    /// Bit-identical to every other matmul kernel; once `out`'s capacity is
+    /// warm the call performs no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != other.rows()`.
+    pub fn matmul_blocked_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), ShapeError> {
+        if self.cols != other.rows {
+            return Err(ShapeError::new(format!(
+                "matmul shape mismatch: {}x{} * {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        out.reshape_zeroed(self.rows, other.cols);
+        matmul_rows_blocked(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.cols,
+            other.cols,
+        );
+        Ok(())
     }
 
     /// Row-chunk parallel matrix product for large batches: splits the
@@ -308,6 +355,27 @@ impl Matrix {
         })
     }
 
+    /// Element-wise `self += other`, allocation-free. Per element the
+    /// addition is exactly [`Matrix::add`]'s, so accumulating partials with
+    /// either entry point is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) -> Result<(), ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new(format!(
+                "add shape mismatch: {:?} vs {:?}",
+                self.shape(),
+                other.shape()
+            )));
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
     /// Adds a row vector to every row (broadcast), as in a layer bias.
     ///
     /// # Errors
@@ -328,6 +396,28 @@ impl Matrix {
             }
         }
         Ok(out)
+    }
+
+    /// Adds a row vector to every row in place — the allocation-free form
+    /// of [`Matrix::add_row_broadcast`], bit-identical to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `bias.len() != self.cols()`.
+    pub fn add_row_broadcast_in_place(&mut self, bias: &[f32]) -> Result<(), ShapeError> {
+        if bias.len() != self.cols {
+            return Err(ShapeError::new(format!(
+                "bias of length {} cannot broadcast over width {}",
+                bias.len(),
+                self.cols
+            )));
+        }
+        for r in 0..self.rows {
+            for (o, &b) in self.row_mut(r).iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        Ok(())
     }
 
     /// Transpose.
@@ -665,6 +755,64 @@ mod tests {
         let b = Matrix::zeros(2, 3);
         assert!(a.matmul_blocked(&b).is_err());
         assert!(a.matmul_parallel(&b, 4).is_err());
+    }
+
+    #[test]
+    fn matmul_into_matches_allocating_kernel_across_reuse() {
+        // One `out` cycles through growing and shrinking shapes; every
+        // product must match the allocating kernel bit-for-bit.
+        let mut out = Matrix::zeros(1, 1);
+        for (m, k, n) in [(3, 4, 5), (8, 17, 31), (2, 2, 2), (7, 13, 16)] {
+            let a = scrambled(m, k, (m + k) as u64);
+            let b = scrambled(k, n, (k + n) as u64);
+            a.matmul_blocked_into(&b, &mut out).unwrap();
+            assert_eq!(out, a.matmul_blocked(&b).unwrap(), "{m}x{k} * {k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_into_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let mut out = Matrix::zeros(1, 1);
+        assert!(a.matmul_blocked_into(&b, &mut out).is_err());
+    }
+
+    #[test]
+    fn reshape_zeroed_reuses_capacity() {
+        let mut m = Matrix::filled(10, 10, 7.0);
+        m.reshape_zeroed(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        // Growing back within the original capacity stays zeroed too.
+        m.reshape_zeroed(10, 10);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let a = scrambled(5, 7, 1);
+        let b = scrambled(5, 7, 2);
+        let mut acc = a.clone();
+        acc.add_assign(&b).unwrap();
+        assert_eq!(acc, a.add(&b).unwrap());
+        assert!(acc.add_assign(&Matrix::zeros(5, 8)).is_err());
+    }
+
+    #[test]
+    fn broadcast_in_place_matches_allocating_form() {
+        let a = scrambled(4, 6, 9);
+        let bias: Vec<f32> = (0..6).map(|i| i as f32 - 2.5).collect();
+        let mut inplace = a.clone();
+        inplace.add_row_broadcast_in_place(&bias).unwrap();
+        assert_eq!(inplace, a.add_row_broadcast(&bias).unwrap());
+        assert!(inplace.add_row_broadcast_in_place(&[1.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn reshape_zeroed_rejects_empty_shape() {
+        Matrix::zeros(2, 2).reshape_zeroed(0, 3);
     }
 
     #[test]

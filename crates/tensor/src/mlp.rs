@@ -93,6 +93,34 @@ impl Mlp {
         h
     }
 
+    /// Forward pass ping-ponging between two caller-owned scratch matrices
+    /// instead of allocating one activation matrix per layer. Returns a
+    /// reference to whichever scratch holds the final layer's output. Each
+    /// layer runs [`Linear::forward_into`], so the result is bit-identical
+    /// to [`Mlp::forward`]; once both buffers' capacity covers the widest
+    /// layer the call performs no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim()`.
+    pub fn forward_into<'a>(&self, x: &Matrix, a: &'a mut Matrix, b: &'a mut Matrix) -> &'a Matrix {
+        self.layers[0].forward_into(x, a);
+        let mut in_a = true;
+        for layer in &self.layers[1..] {
+            if in_a {
+                layer.forward_into(a, b);
+            } else {
+                layer.forward_into(b, a);
+            }
+            in_a = !in_a;
+        }
+        if in_a {
+            a
+        } else {
+            b
+        }
+    }
+
     /// Total parameters across all layers.
     pub fn param_count(&self) -> u64 {
         self.layers.iter().map(Linear::param_count).sum()
@@ -179,5 +207,21 @@ mod tests {
     #[should_panic(expected = "at least one layer")]
     fn empty_widths_panics() {
         Mlp::with_seed(4, &[], Activation::Relu, 0);
+    }
+
+    #[test]
+    fn forward_into_is_bit_identical_for_odd_and_even_depths() {
+        // Odd and even layer counts land the result in different ping-pong
+        // buffers; both must reproduce the allocating pass exactly, and the
+        // scratch pair must survive reuse across calls.
+        let mut a = Matrix::zeros(1, 1);
+        let mut b = Matrix::zeros(1, 1);
+        for widths in [&[8][..], &[8, 4], &[16, 8, 2], &[8, 8, 8, 1]] {
+            let mlp = Mlp::with_seed(6, widths, Activation::Relu, 31)
+                .with_output_activation(Activation::Sigmoid);
+            let x = Matrix::filled(5, 6, 0.4);
+            let expect = mlp.forward(&x);
+            assert_eq!(*mlp.forward_into(&x, &mut a, &mut b), expect, "{widths:?}");
+        }
     }
 }
