@@ -55,6 +55,9 @@ run_stage "test zero-alloc" cargo test -q -p elasticrec --features alloc-count -
 # scale are noise — the full run is `cargo run --release -p er-bench --bin
 # perfsuite`.
 run_stage "perfsuite smoke" ./target/release/perfsuite --smoke
+# The parallel simulation core's contract: the sharded windowed engine is
+# bit-identical at 1/2/4/8 worker threads on a Figure 19-class scenario.
+run_stage "par-sim parity" ./target/release/perfsuite --par-parity
 
 echo
 echo "CI OK"

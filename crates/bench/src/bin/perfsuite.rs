@@ -17,18 +17,30 @@
 //! determinism digest, so a perf refactor that changes outputs is caught
 //! here as well as in the test suite.
 //!
+//! A fourth group times the *parallel* simulation core: `par_seq` runs the
+//! sequential engine on a shared scenario, and `par_sim_t{1,2,4,8}` run
+//! the sharded windowed engine ([`elasticrec::ParSimulation`]) at 8 shards
+//! on 1/2/4/8 worker threads. The four parallel digests must be identical
+//! — the suite exits nonzero if any thread count changes a single bit.
+//!
 //! Usage:
-//!   perfsuite [--smoke] [--out PATH] [--baseline PATH]
+//!   perfsuite [--smoke] [--out PATH] [--baseline PATH] [--fleet]
+//!             [--par-parity] [--no-enforce-speedup]
 //!
 //! `--smoke` runs a tiny configuration (CI-sized), writes to
 //! `target/BENCH_perf_smoke.json` by default, and validates the emitted
 //! JSON schema. `--baseline` points at a previous `BENCH_perf.json`; its
-//! `wall_secs` per section are embedded and speedups computed.
+//! `wall_secs` per section are embedded, speedups computed, and any
+//! section slower than 0.95x of its baseline fails the run (opt out with
+//! `--no-enforce-speedup`). `--par-parity` runs only the parallel-engine
+//! digest-equality check (the CI stage). `--fleet` adds the 1000-node
+//! synthetic fleet scenario as a timed section.
 
 use std::time::Instant;
 
 use elasticrec::{
-    plan, Calibration, Platform, ShardedDlrm, Simulation, SimulationConfig, Strategy,
+    plan, Calibration, ParSimConfig, ParSimulation, Platform, ShardedDlrm, Simulation,
+    SimulationConfig, SimulationOutcome, Strategy,
 };
 use er_bench::perf::{self, Digest, PerfReport, Section};
 use er_model::{configs, Dlrm, QueryGenerator};
@@ -70,9 +82,19 @@ const SMOKE: Scale = Scale {
     sim_base_qps: 20.0,
 };
 
+/// Thread counts the parallel engine is timed (and parity-checked) at.
+const PAR_THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Shard count for the parallel sections.
+const PAR_SHARDS: usize = 8;
+/// Minimum acceptable speedup vs the attached baseline per section.
+const SPEEDUP_FLOOR: f64 = 0.95;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let par_parity = args.iter().any(|a| a == "--par-parity");
+    let fleet = args.iter().any(|a| a == "--fleet");
+    let enforce_speedup = !args.iter().any(|a| a == "--no-enforce-speedup");
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| {
         if smoke {
             "target/BENCH_perf_smoke.json".to_string()
@@ -81,6 +103,23 @@ fn main() {
         }
     });
     let baseline_path = flag_value(&args, "--baseline");
+
+    if par_parity {
+        // The CI stage: parallel digest equality at smoke scale, nothing
+        // written, nonzero exit on the first diverging thread count.
+        let sections = bench_par(&SMOKE);
+        let mut table = PerfReport::new("par-parity");
+        for s in sections {
+            table.push(s);
+        }
+        println!("{}", table.summary_table());
+        println!(
+            "par-sim parity ok: {} thread counts agree",
+            PAR_THREADS.len()
+        );
+        return;
+    }
+
     let scale = if smoke { &SMOKE } else { &FULL };
 
     let mut report = PerfReport::new(if smoke { "smoke" } else { "full" });
@@ -88,6 +127,12 @@ fn main() {
     report.push(bench_event_queue(scale));
     report.push(bench_forward(scale));
     report.push(bench_fig19(scale));
+    for s in bench_par(scale) {
+        report.push(s);
+    }
+    if fleet {
+        report.push(bench_fleet());
+    }
 
     if let Some(path) = &baseline_path {
         match std::fs::read_to_string(path) {
@@ -119,6 +164,16 @@ fn main() {
             eprintln!("perfsuite: schema validation failed: {e}");
             std::process::exit(1);
         }
+    }
+
+    // The perf gate: with a baseline attached, any section below the
+    // floor fails the suite (wall-time noise budget is the 5% margin).
+    if enforce_speedup && baseline_path.is_some() {
+        if let Err(e) = report.enforce_speedups(SPEEDUP_FLOOR) {
+            eprintln!("perfsuite: speedup floor violated:\n{e}");
+            std::process::exit(1);
+        }
+        println!("speedup floor ok (every section >= {SPEEDUP_FLOOR}x of baseline)");
     }
 }
 
@@ -220,6 +275,18 @@ fn bench_fig19(scale: &Scale) -> Section {
     let out = Simulation::run(&p, &calib, &cfg);
     let wall = t0.elapsed().as_secs_f64();
 
+    Section::new(
+        "fig19_sim",
+        wall,
+        out.completed_queries,
+        digest_outcome(&out),
+    )
+}
+
+/// Folds a simulation outcome bit-for-bit: counters, latency percentiles,
+/// and the full metrics time series. Any event-ordering change anywhere in
+/// a run lands in this value.
+fn digest_outcome(out: &SimulationOutcome) -> Digest {
     let mut digest = Digest::new();
     digest.fold_u64(out.total_queries);
     digest.fold_u64(out.completed_queries);
@@ -242,5 +309,85 @@ fn bench_fig19(scale: &Scale) -> Section {
             digest.fold_f64(pt.value);
         }
     }
-    Section::new("fig19_sim", wall, out.completed_queries, digest)
+    digest
+}
+
+/// The parallel-engine section group: the sequential engine (`par_seq`)
+/// and the sharded windowed engine at [`PAR_SHARDS`] shards across
+/// [`PAR_THREADS`] worker counts, all on one shared Figure 19-class
+/// scenario. Exits nonzero if any thread count produces a different
+/// digest — thread-count invariance is this engine's core contract, so a
+/// violation is a correctness failure, not a perf data point.
+#[allow(clippy::disallowed_methods)] // benchmarks measure real elapsed time
+fn bench_par(scale: &Scale) -> Vec<Section> {
+    let calib = Calibration::cpu_only();
+    let cfg_model = configs::rm1();
+    let p = plan(&cfg_model, Platform::CpuOnly, Strategy::Elastic, &calib);
+    let schedule = TrafficSchedule::figure19(scale.sim_base_qps, scale.sim_duration / 8.0);
+    let cfg = SimulationConfig::new(schedule, scale.sim_duration, 4321);
+
+    let mut sections = Vec::new();
+
+    // lint::allow(wall_clock): benchmarks measure real elapsed time by definition
+    let t0 = Instant::now();
+    let seq = Simulation::run(&p, &calib, &cfg);
+    let wall = t0.elapsed().as_secs_f64();
+    sections.push(Section::new(
+        "par_seq",
+        wall,
+        seq.completed_queries,
+        digest_outcome(&seq),
+    ));
+
+    let mut digests: Vec<String> = Vec::new();
+    for threads in PAR_THREADS {
+        let par = ParSimConfig::new(PAR_SHARDS, threads);
+        // lint::allow(wall_clock): benchmarks measure real elapsed time by definition
+        let t0 = Instant::now();
+        let out = ParSimulation::run(&p, &calib, &cfg, &par);
+        let wall = t0.elapsed().as_secs_f64();
+        let digest = digest_outcome(&out);
+        digests.push(digest.hex());
+        sections.push(Section::new(
+            &format!("par_sim_t{threads}"),
+            wall,
+            out.completed_queries,
+            digest,
+        ));
+    }
+    if digests.iter().any(|d| d != &digests[0]) {
+        eprintln!(
+            "perfsuite: par_sim digests diverged across thread counts {PAR_THREADS:?}: {digests:?}"
+        );
+        std::process::exit(1);
+    }
+    sections
+}
+
+/// The 1000-node synthetic fleet: a heavy Figure 19-class scenario with a
+/// hard 1000-node budget and a deep replica ceiling, run on the parallel
+/// engine at full width. Exercises the sharded core under sustained
+/// HPA churn and large pod sets rather than at toy cluster sizes.
+#[allow(clippy::disallowed_methods)] // benchmarks measure real elapsed time
+fn bench_fleet() -> Section {
+    let calib = Calibration::cpu_only();
+    let cfg_model = configs::rm1();
+    let p = plan(&cfg_model, Platform::CpuOnly, Strategy::Elastic, &calib);
+    let schedule = TrafficSchedule::figure19(400.0, 30.0);
+    let mut cfg = SimulationConfig::new(schedule, 240.0, 77);
+    cfg.max_nodes = Some(1000);
+    cfg.max_replicas = 2048;
+    cfg.fail_node_at = Some(90.0);
+
+    let par = ParSimConfig::new(PAR_SHARDS, PAR_THREADS[PAR_THREADS.len() - 1]);
+    // lint::allow(wall_clock): benchmarks measure real elapsed time by definition
+    let t0 = Instant::now();
+    let out = ParSimulation::run(&p, &calib, &cfg, &par);
+    let wall = t0.elapsed().as_secs_f64();
+    Section::new(
+        "fleet_par",
+        wall,
+        out.completed_queries,
+        digest_outcome(&out),
+    )
 }

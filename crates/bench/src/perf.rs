@@ -204,6 +204,31 @@ impl PerfReport {
         out
     }
 
+    /// Enforces the perf floor against the attached baseline: every
+    /// section that has one must run at `floor` speedup or better.
+    /// Sections without a baseline (new sections, renamed sections) are
+    /// exempt — they have nothing to regress against.
+    ///
+    /// # Errors
+    ///
+    /// Returns one line per offending section.
+    pub fn enforce_speedups(&self, floor: f64) -> Result<(), String> {
+        let offenders: Vec<String> = self
+            .sections
+            .iter()
+            .filter_map(|s| {
+                s.speedup()
+                    .filter(|&sp| sp < floor)
+                    .map(|sp| format!("{} regressed to {sp:.3}x (floor {floor:.2}x)", s.name))
+            })
+            .collect();
+        if offenders.is_empty() {
+            Ok(())
+        } else {
+            Err(offenders.join("\n"))
+        }
+    }
+
     /// Human-readable summary for stdout.
     pub fn summary_table(&self) -> String {
         let mut out = String::new();
@@ -396,6 +421,28 @@ mod tests {
             "nothexnothexnoth",
         );
         assert!(validate_schema(&broken).is_err());
+    }
+
+    #[test]
+    fn speedup_floor_passes_and_fails_correctly() {
+        let baseline = report().to_json();
+        let mut current = report();
+        current.attach_baseline(&baseline);
+        // Identical wall times: speedup 1.0x, comfortably above 0.95x.
+        assert_eq!(current.enforce_speedups(0.95), Ok(()));
+        // A 20% regression on one section trips the floor and names it.
+        current.sections[1].wall_secs = 2.5;
+        let err = current.enforce_speedups(0.95).expect_err("regressed");
+        assert!(err.contains("fig19_sim"), "{err}");
+        assert!(err.contains("0.800x"), "{err}");
+        assert!(!err.contains("event_queue"), "{err}");
+    }
+
+    #[test]
+    fn speedup_floor_ignores_sections_without_baseline() {
+        let mut r = report(); // no baseline attached at all
+        r.sections[0].wall_secs = 1e9;
+        assert_eq!(r.enforce_speedups(0.95), Ok(()));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::{Calibration, Platform, ServingPlan, ShardService, SteadyState};
 /// Fraction of a replica's theoretical saturation throughput used as its
 /// autoscaling threshold — the "knee" where tail latency starts climbing
 /// in the paper's stress tests (Section IV-D).
-const KNEE_FRACTION: f64 = 0.80;
+pub(crate) const KNEE_FRACTION: f64 = 0.80;
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone)]
@@ -140,16 +140,16 @@ enum Event {
     HpaTick,
 }
 
-struct QueryState {
-    arrive: f64,
+pub(crate) struct QueryState {
+    pub(crate) arrive: f64,
     /// Embedding-shard RPCs whose pod assignment is still pending.
-    pending_sparse: usize,
-    bottom_start: f64,
-    bottom_end: f64,
+    pub(crate) pending_sparse: usize,
+    pub(crate) bottom_start: f64,
+    pub(crate) bottom_end: f64,
     /// Running max of per-shard response-landing times; once the last
     /// `SparseArrive` resolves, this is the fan-in instant.
-    sparse_done: f64,
-    dense_pod: u64,
+    pub(crate) sparse_done: f64,
+    pub(crate) dense_pod: u64,
 }
 
 /// Generational slab of in-flight queries, replacing a `HashMap<u64, _>`.
@@ -160,13 +160,13 @@ struct QueryState {
 /// same defensive behaviour the map's `get(&qid) == None` gave, without
 /// hashing on every event.
 #[derive(Default)]
-struct QuerySlab {
+pub(crate) struct QuerySlab {
     slots: Vec<(u32, Option<QueryState>)>,
     free: Vec<u32>,
 }
 
 impl QuerySlab {
-    fn insert(&mut self, state: QueryState) -> u64 {
+    pub(crate) fn insert(&mut self, state: QueryState) -> u64 {
         match self.free.pop() {
             Some(slot) => {
                 let (gen, q) = &mut self.slots[slot as usize];
@@ -182,7 +182,7 @@ impl QuerySlab {
         }
     }
 
-    fn get_mut(&mut self, qid: u64) -> Option<&mut QueryState> {
+    pub(crate) fn get_mut(&mut self, qid: u64) -> Option<&mut QueryState> {
         let (gen, q) = self.slots.get_mut(qid as u32 as usize)?;
         if u64::from(*gen) != qid >> 32 {
             return None;
@@ -190,7 +190,7 @@ impl QuerySlab {
         q.as_mut()
     }
 
-    fn remove(&mut self, qid: u64) -> Option<QueryState> {
+    pub(crate) fn remove(&mut self, qid: u64) -> Option<QueryState> {
         let (gen, q) = self.slots.get_mut(qid as u32 as usize)?;
         if u64::from(*gen) != qid >> 32 {
             return None;
@@ -224,12 +224,12 @@ pub struct StageBreakdown {
 }
 
 /// Per-deployment runtime state.
-struct DeployState {
+pub(crate) struct DeployState {
     /// Dense cluster handle, resolved once at startup.
-    id: DeployId,
-    qps_window: QpsWindow,
-    interval_latency: Histogram,
-    hpa: HpaController,
+    pub(crate) id: DeployId,
+    pub(crate) qps_window: QpsWindow,
+    pub(crate) interval_latency: Histogram,
+    pub(crate) hpa: HpaController,
 }
 
 /// The simulation entry point.

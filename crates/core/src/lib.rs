@@ -40,6 +40,7 @@
 mod calib;
 mod engine;
 mod executor;
+mod par_engine;
 mod planning;
 #[cfg(feature = "race-check")]
 pub mod race;
@@ -52,11 +53,12 @@ mod workspace;
 pub use calib::Calibration;
 pub use engine::{Simulation, SimulationConfig, SimulationOutcome, StageBreakdown};
 pub use executor::{ParallelShardExecutor, Pending};
+pub use par_engine::{ParSimConfig, ParSimulation};
 pub use planning::{
     plan, plan_elastic_fixed_shards, plan_elastic_with_plans, Platform, ServingPlan, Strategy,
 };
 #[cfg(feature = "race-check")]
-pub use race::{RaceChecker, RaceEvent, VectorClock};
+pub use race::{RaceChecker, RaceEvent, VectorClock, WindowRaceChecker, WindowRaceEvent};
 pub use sharded::ShardedDlrm;
 pub use shards::{ShardRole, ShardService, ShardSpec};
 pub use sizing::{SteadyState, STEADY_UTILIZATION};

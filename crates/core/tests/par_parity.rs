@@ -1,0 +1,162 @@
+//! Determinism contract of the parallel serving engine: one seed, one
+//! result, regardless of how the logical processes are sharded onto
+//! threads — plus statistical agreement with the sequential engine.
+
+use elasticrec::{
+    plan, Calibration, ParSimConfig, ParSimulation, Platform, Simulation, SimulationConfig,
+    SimulationOutcome, Strategy,
+};
+use er_model::configs;
+use er_workload::TrafficSchedule;
+
+fn small_model() -> er_model::ModelConfig {
+    configs::rm1().with_num_tables(2)
+}
+
+/// FNV-1a fold over every observable in the outcome, bit-exact: any
+/// reordering of any event anywhere in the run changes this value.
+fn digest(out: &SimulationOutcome) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut fold = |x: u64| h = (h ^ x).wrapping_mul(0x100_0000_01b3);
+    fold(out.total_queries);
+    fold(out.completed_queries);
+    fold(out.sla_violation_intervals as u64);
+    fold(out.metric_intervals as u64);
+    fold(out.final_nodes_used as u64);
+    fold(out.peak_memory_gib.to_bits());
+    fold(out.latency.count());
+    fold(out.latency.mean().to_bits());
+    for p in [0.5, 0.95, 0.99] {
+        fold(out.latency.percentile(p).to_bits());
+    }
+    for series in [
+        &out.achieved_qps,
+        &out.target_qps,
+        &out.memory_gib,
+        &out.p95_ms,
+        &out.total_replicas,
+    ] {
+        for pt in series.points() {
+            fold(pt.time.to_bits());
+            fold(pt.value.to_bits());
+        }
+    }
+    for hist in [
+        &out.stages.frontend_wait,
+        &out.stages.frontend_service,
+        &out.stages.sparse_phase,
+        &out.stages.top_wait,
+        &out.stages.top_service,
+        &out.stages.client_rtt,
+    ] {
+        fold(hist.count());
+        if hist.count() > 0 {
+            fold(hist.mean().to_bits());
+        }
+    }
+    h
+}
+
+fn par_run(cfg: &SimulationConfig, shards: usize, threads: usize) -> SimulationOutcome {
+    let calib = Calibration::cpu_only();
+    let p = plan(&small_model(), Platform::CpuOnly, Strategy::Elastic, &calib);
+    ParSimulation::run(&p, &calib, cfg, &ParSimConfig::new(shards, threads))
+}
+
+/// The headline guarantee: bit-identical digests at 1, 2, 4, and 8
+/// shards under assorted thread counts.
+#[test]
+fn par_digest_invariant_across_shards_and_threads() {
+    let cfg = SimulationConfig::new(TrafficSchedule::constant(40.0), 20.0, 42);
+    let reference = digest(&par_run(&cfg, 1, 1));
+    for (shards, threads) in [(2, 1), (2, 2), (4, 2), (4, 4), (8, 3), (8, 8)] {
+        let got = digest(&par_run(&cfg, shards, threads));
+        assert_eq!(
+            got, reference,
+            "digest diverged at shards={shards} threads={threads}"
+        );
+    }
+}
+
+/// Control windows in anger: HPA reconfigurations every tick plus a
+/// scripted node failure, all landing as zero-lookahead pod-set
+/// broadcasts — still invariant under the execution shape.
+#[test]
+fn par_digest_invariant_with_failure_and_scaling() {
+    let schedule = TrafficSchedule::steps(&[(0.0, 20.0), (10.0, 90.0)]).unwrap();
+    let mut cfg = SimulationConfig::new(schedule, 30.0, 7);
+    cfg.fail_node_at = Some(13.0);
+    let reference = digest(&par_run(&cfg, 1, 1));
+    for (shards, threads) in [(2, 2), (4, 4), (8, 8)] {
+        let got = digest(&par_run(&cfg, shards, threads));
+        assert_eq!(
+            got, reference,
+            "digest diverged at shards={shards} threads={threads}"
+        );
+    }
+}
+
+/// Against the sequential engine: the arrival stream is identical, so
+/// query totals must match exactly; latency statistics agree closely
+/// (tie ordering differs, so bitwise equality is not expected).
+#[test]
+fn par_agrees_with_sequential_engine() {
+    let calib = Calibration::cpu_only();
+    let p = plan(&small_model(), Platform::CpuOnly, Strategy::Elastic, &calib);
+    let cfg = SimulationConfig::new(TrafficSchedule::constant(40.0), 20.0, 42);
+    let seq = Simulation::run(&p, &calib, &cfg);
+    let par = ParSimulation::run(&p, &calib, &cfg, &ParSimConfig::new(4, 4));
+    assert_eq!(par.total_queries, seq.total_queries);
+    assert_eq!(par.completed_queries, seq.completed_queries);
+    let (a, b) = (par.mean_latency_secs(), seq.mean_latency_secs());
+    assert!(
+        (a - b).abs() / b < 0.05,
+        "mean latency diverged: par={a} seq={b}"
+    );
+    assert_eq!(par.metric_intervals, seq.metric_intervals);
+}
+
+/// A monolithic (model-wise) plan is a single LP with no cross-LP
+/// messages at all, so the parallel engine must reproduce the sequential
+/// engine bit-for-bit — not just statistically.
+#[test]
+fn monolithic_plan_matches_sequential_bitwise() {
+    let calib = Calibration::cpu_only();
+    let p = plan(
+        &small_model(),
+        Platform::CpuOnly,
+        Strategy::ModelWise,
+        &calib,
+    );
+    let cfg = SimulationConfig::new(TrafficSchedule::constant(30.0), 15.0, 11);
+    let seq = Simulation::run(&p, &calib, &cfg);
+    for (shards, threads) in [(1, 1), (4, 4)] {
+        let par = ParSimulation::run(&p, &calib, &cfg, &ParSimConfig::new(shards, threads));
+        assert_eq!(digest(&par), digest(&seq), "shards={shards}");
+    }
+}
+
+/// The detailed entry point reports the runner's window accounting, and
+/// that accounting is itself invariant under the execution shape.
+#[test]
+fn window_stats_are_execution_shape_invariant() {
+    let calib = Calibration::cpu_only();
+    let p = plan(&small_model(), Platform::CpuOnly, Strategy::Elastic, &calib);
+    let cfg = SimulationConfig::new(TrafficSchedule::constant(25.0), 12.0, 3);
+    let (_, ref_stats) =
+        ParSimulation::run_detailed(&p, &calib, &cfg, &ParSimConfig::new(1, 1), None);
+    assert!(ref_stats.windows > 0);
+    assert!(ref_stats.control_windows > 0); // every HPA tick is one
+    assert!(ref_stats.events > 0);
+    assert!(ref_stats.cross_messages > 0);
+    for (shards, threads) in [(2, 2), (8, 4)] {
+        let (_, stats) = ParSimulation::run_detailed(
+            &p,
+            &calib,
+            &cfg,
+            &ParSimConfig::new(shards, threads),
+            None,
+        );
+        assert_eq!(stats, ref_stats, "shards={shards} threads={threads}");
+    }
+}

@@ -1,0 +1,952 @@
+//! Parallel sharded discrete-event execution under conservative
+//! time-window synchronization.
+//!
+//! The sequential engine drains one global [`EventQueue`]. This module
+//! partitions a simulation into *logical processes* (LPs) — independent
+//! state machines that exchange timestamped messages — and executes them
+//! on worker threads without ever reordering observable work:
+//!
+//! 1. **Windows.** Let `m` be the earliest pending timestamp across all
+//!    LPs and `L` the *lookahead* — a lower bound on the delay of every
+//!    cross-LP message (for the serving simulator, the minimum cross-shard
+//!    RPC latency from the hardware profiles). Every event in `[m, m + L)`
+//!    can only be affected by messages that already exist, so all LPs may
+//!    drain that window concurrently — the classic conservative
+//!    (Chandy–Misra–Bryant-style) argument.
+//! 2. **Barriers.** Cross-LP messages emitted inside a window are staged
+//!    in per-LP outboxes and exchanged only at the window barrier, merged
+//!    in the canonical `(time, source LP, emission sequence)` order before
+//!    being scheduled into destination queues. Destination-side sequence
+//!    numbers are therefore assigned identically no matter how many
+//!    shards or threads executed the window — the root of the bit-for-bit
+//!    determinism guarantee.
+//! 3. **Sync points.** Control actions (HPA ticks, node failures) take
+//!    effect instantly in the sequential engine, which a lookahead-based
+//!    scheme cannot reproduce. Instants listed in
+//!    [`WindowConfig::sync_points`] therefore run as *control windows*:
+//!    the window covers exactly `[m, m]` (inclusive) and messages emitted
+//!    in it may be delivered at `m` itself — zero lookahead — because the
+//!    barrier at the end of the control window still orders them before
+//!    every strictly later event.
+//!
+//! Shard and thread counts are pure execution grouping: LP `i` belongs to
+//! shard `i mod S` and shard `s` runs on worker `s mod T`. Neither choice
+//! enters any ordering decision, so the same seed yields bit-identical
+//! results at any `(S, T)` — including `(1, 1)`, which runs inline with
+//! no worker threads at all and serves as the sequential reference.
+
+use std::sync::mpsc;
+
+use crate::{EventQueue, SimTime};
+
+/// Identifier of a logical process: its index in the vector handed to
+/// [`ShardedSim::new`].
+pub type LpId = usize;
+
+/// One logical process: a deterministic state machine reacting to its own
+/// events and to messages from other LPs.
+///
+/// Implementations must be deterministic functions of their event stream:
+/// given the same sequence of `on_event` calls they must perform the same
+/// local schedules and cross-LP sends. All shared-state access goes
+/// through messages; the runner never lets two threads touch one LP.
+pub trait LpLogic: Send {
+    /// The event/message type exchanged within and between LPs.
+    type Event: Send;
+
+    /// Handles the event `ev` firing at simulated time `now`.
+    fn on_event(&mut self, now: SimTime, ev: Self::Event, ctx: &mut LpCtx<'_, Self::Event>);
+}
+
+/// A staged cross-LP message: the canonical merge key `(at, src, emit)`
+/// plus destination and payload.
+struct OutMsg<E> {
+    at: f64,
+    src: u32,
+    emit: u64,
+    dst: u32,
+    ev: E,
+}
+
+/// The scheduling surface handed to [`LpLogic::on_event`]: local schedules
+/// go straight into the LP's own queue; cross-LP sends are staged for the
+/// window barrier.
+pub struct LpCtx<'a, E> {
+    lp: LpId,
+    n_lps: usize,
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    outbox: &'a mut Vec<OutMsg<E>>,
+    emit: &'a mut u64,
+}
+
+impl<E> LpCtx<'_, E> {
+    /// The LP this context belongs to.
+    pub fn lp(&self) -> LpId {
+        self.lp
+    }
+
+    /// The timestamp of the event being handled.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules a local event on this LP at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule(&mut self, at: SimTime, ev: E) {
+        self.queue.schedule(at, ev);
+    }
+
+    /// Schedules a local event `delay` seconds from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or not finite.
+    pub fn schedule_in(&mut self, delay: f64, ev: E) {
+        self.queue.schedule_in(delay, ev);
+    }
+
+    /// Sends `ev` to LP `dst`, to fire at absolute time `at`. The message
+    /// is staged and delivered at the window barrier; the runner verifies
+    /// at the barrier that `at` respects the configured lookahead (or the
+    /// window start, inside a control window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is this LP or out of range, or if `at` is in the
+    /// past.
+    pub fn send(&mut self, dst: LpId, at: SimTime, ev: E) {
+        assert!(dst != self.lp, "use schedule() for same-LP events");
+        assert!(dst < self.n_lps, "unknown destination LP {dst}");
+        assert!(
+            at >= self.now,
+            "cannot send into the past (at={at}, now={})",
+            self.now
+        );
+        let emit = *self.emit;
+        *self.emit += 1;
+        self.outbox.push(OutMsg {
+            at: at.as_secs(),
+            src: self.lp as u32,
+            emit,
+            dst: dst as u32,
+            ev,
+        });
+    }
+
+    /// Sends `ev` to LP `dst`, to fire `delay` seconds from now.
+    ///
+    /// # Panics
+    ///
+    /// As [`LpCtx::send`]; additionally panics if `delay` is negative or
+    /// not finite.
+    pub fn send_in(&mut self, dst: LpId, delay: f64, ev: E) {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "delay must be finite and non-negative, got {delay}"
+        );
+        self.send(dst, self.now + delay, ev);
+    }
+}
+
+impl<E> std::fmt::Debug for LpCtx<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LpCtx")
+            .field("lp", &self.lp)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+/// Hooks observing window boundaries and cross-LP handoffs, used by the
+/// `race-check` build of the serving engine to attach vector-clock
+/// happens-before tracking. All callbacks run on the coordinating thread
+/// at barrier time, never inside a worker.
+pub trait WindowObserver {
+    /// A window is about to execute. `control` marks a zero-lookahead
+    /// control window (`end == start`).
+    fn on_window(&self, _index: u64, _start: f64, _end: f64, _control: bool) {}
+
+    /// A staged cross-LP message is crossing the barrier of the window
+    /// that emitted it. `floor` is the earliest delivery time conservative
+    /// correctness allows (the window end, or the window start for a
+    /// control window). Called *before* the runner's own conservative
+    /// check, so an observer can veto with a richer diagnostic.
+    fn on_handoff(&self, _src: LpId, _dst: LpId, _at: f64, _floor: f64, _control: bool) {}
+
+    /// The run drained every queue; `windows` windows were executed.
+    fn on_run_end(&self, _windows: u64) {}
+}
+
+/// The no-op observer used by [`ShardedSim::run`].
+#[derive(Debug, Default, Clone, Copy)]
+struct NoopObserver;
+
+impl WindowObserver for NoopObserver {}
+
+/// Execution parameters for a sharded run.
+#[derive(Debug, Clone)]
+pub struct WindowConfig {
+    /// Lower bound on every cross-LP message delay outside control
+    /// windows, in seconds. `f64::INFINITY` is valid for simulations that
+    /// never send between LPs (everything drains in one window).
+    pub lookahead: f64,
+    /// Number of shards LPs are grouped into. Affects execution grouping
+    /// only, never results.
+    pub shards: usize,
+    /// Number of worker threads. `1` runs inline on the calling thread.
+    /// Affects wall-clock only, never results.
+    pub threads: usize,
+    /// Sorted, strictly increasing instants that run as zero-lookahead
+    /// control windows (e.g. HPA ticks, scripted node failures). Instants
+    /// with no event pending are skipped for free.
+    pub sync_points: Vec<f64>,
+}
+
+impl WindowConfig {
+    /// A sequential-reference configuration: one shard, one thread.
+    pub fn sequential(lookahead: f64) -> Self {
+        WindowConfig {
+            lookahead,
+            shards: 1,
+            threads: 1,
+            sync_points: Vec::new(),
+        }
+    }
+}
+
+/// Counters describing how a sharded run executed. Purely informational —
+/// none of these feed back into simulation state.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Total windows executed, including control windows.
+    pub windows: u64,
+    /// Windows that ran at a sync point with zero lookahead.
+    pub control_windows: u64,
+    /// Events processed across all LPs.
+    pub events: u64,
+    /// Cross-LP messages merged through barriers.
+    pub cross_messages: u64,
+}
+
+/// One LP plus its private future-event list and emission counter.
+struct LpUnit<L: LpLogic> {
+    logic: L,
+    queue: EventQueue<L::Event>,
+    emit: u64,
+}
+
+/// A sharded simulation ready to run: the LP vector, their queues, and
+/// the window configuration.
+pub struct ShardedSim<L: LpLogic> {
+    lps: Vec<LpUnit<L>>,
+    cfg: WindowConfig,
+}
+
+/// Coordinator → worker command: run one window (applying the barrier's
+/// deliveries first), or stop.
+enum Cmd<E> {
+    Go {
+        end: f64,
+        inclusive: bool,
+        deliveries: Vec<(u32, f64, E)>,
+    },
+    Quit,
+}
+
+/// Worker → coordinator report after each window.
+struct Reply<E> {
+    worker: usize,
+    outbox: Vec<OutMsg<E>>,
+    local_min: Option<f64>,
+    events: u64,
+}
+
+impl<L: LpLogic> ShardedSim<L> {
+    /// Builds a simulation over `logics` (LP `i` is `logics[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logics` is empty, `cfg.lookahead` is not positive, or
+    /// `cfg.sync_points` is not strictly increasing.
+    pub fn new(logics: Vec<L>, cfg: WindowConfig) -> Self {
+        assert!(!logics.is_empty(), "a simulation needs at least one LP");
+        assert!(cfg.shards >= 1, "shard count must be at least 1");
+        assert!(cfg.threads >= 1, "thread count must be at least 1");
+        assert!(
+            cfg.lookahead > 0.0,
+            "lookahead must be positive, got {}",
+            cfg.lookahead
+        );
+        assert!(
+            cfg.sync_points.windows(2).all(|w| w[0] < w[1]),
+            "sync points must be strictly increasing"
+        );
+        let lps = logics
+            .into_iter()
+            .map(|logic| LpUnit {
+                logic,
+                queue: EventQueue::new(),
+                emit: 0,
+            })
+            .collect();
+        ShardedSim { lps, cfg }
+    }
+
+    /// Seeds an initial event on LP `lp` before the run starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lp` is out of range.
+    pub fn schedule(&mut self, lp: LpId, at: SimTime, ev: L::Event) {
+        self.lps[lp].queue.schedule(at, ev);
+    }
+
+    /// Runs to completion (every queue drained) and returns the LP logics
+    /// in their original order plus execution counters.
+    pub fn run(self) -> (Vec<L>, WindowStats) {
+        self.run_observed(&NoopObserver)
+    }
+
+    /// As [`ShardedSim::run`], reporting window boundaries and cross-LP
+    /// handoffs to `obs`.
+    pub fn run_observed(self, obs: &dyn WindowObserver) -> (Vec<L>, WindowStats) {
+        let threads = self
+            .cfg
+            .threads
+            .min(self.cfg.shards)
+            .min(self.lps.len())
+            .max(1);
+        if threads == 1 {
+            self.run_inline(obs)
+        } else {
+            self.run_threaded(threads, obs)
+        }
+    }
+
+    /// Worker index owning LP `lp` under `threads` workers: LP → shard →
+    /// worker, both round-robin. Pure grouping — never enters ordering.
+    fn worker_of(&self, lp: usize, threads: usize) -> usize {
+        (lp % self.cfg.shards) % threads
+    }
+
+    /// Single-threaded reference path: identical window/barrier structure,
+    /// no worker threads or channels.
+    fn run_inline(mut self, obs: &dyn WindowObserver) -> (Vec<L>, WindowStats) {
+        let n_lps = self.lps.len();
+        let mut planner = WindowPlanner::new(&self.cfg);
+        let mut stats = WindowStats::default();
+        let mut staged: Vec<OutMsg<L::Event>> = Vec::new();
+        loop {
+            let m = self
+                .lps
+                .iter()
+                .filter_map(|u| u.queue.peek_time())
+                .min()
+                .map(SimTime::as_secs);
+            let Some(m) = m else { break };
+            let window = planner.plan(m);
+            obs.on_window(stats.windows, m, window.end, window.control);
+            for (lp, unit) in self.lps.iter_mut().enumerate() {
+                stats.events += drain_window(lp, unit, &window, n_lps, &mut staged);
+            }
+            stats.cross_messages += staged.len() as u64;
+            merge_barrier(&mut staged, &window, obs);
+            for msg in staged.drain(..) {
+                self.lps[msg.dst as usize]
+                    .queue
+                    .schedule(SimTime::from_secs(msg.at), msg.ev);
+            }
+            stats.windows += 1;
+            stats.control_windows += u64::from(window.control);
+        }
+        obs.on_run_end(stats.windows);
+        (self.lps.into_iter().map(|u| u.logic).collect(), stats)
+    }
+
+    /// Multi-threaded path: each worker owns a disjoint set of LPs; the
+    /// coordinating thread plans windows, merges barriers, and routes
+    /// deliveries. One command/reply round-trip per worker per window.
+    fn run_threaded(mut self, threads: usize, obs: &dyn WindowObserver) -> (Vec<L>, WindowStats) {
+        let n_lps = self.lps.len();
+        let owner: Vec<usize> = (0..n_lps).map(|lp| self.worker_of(lp, threads)).collect();
+        let mut parts: Vec<Vec<(usize, LpUnit<L>)>> = (0..threads).map(|_| Vec::new()).collect();
+        for (lp, unit) in self.lps.drain(..).enumerate() {
+            parts[owner[lp]].push((lp, unit)); // ascending LP order per worker
+        }
+
+        let mut planner = WindowPlanner::new(&self.cfg);
+        let mut stats = WindowStats::default();
+        let mut logics: Vec<Option<L>> = (0..n_lps).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let (reply_tx, reply_rx) = mpsc::channel::<Reply<L::Event>>();
+            let (done_tx, done_rx) = mpsc::channel::<DonePartition<L>>();
+            let mut cmd_txs = Vec::with_capacity(threads);
+            for (w, part) in parts.into_iter().enumerate() {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd<L::Event>>();
+                cmd_txs.push(cmd_tx);
+                let reply_tx = reply_tx.clone();
+                let done_tx = done_tx.clone();
+                scope.spawn(move || worker_loop(w, part, n_lps, &cmd_rx, &reply_tx, &done_tx));
+            }
+
+            // Collect the initial position reports.
+            let mut mins: Vec<Option<f64>> = vec![None; threads];
+            for _ in 0..threads {
+                let r = reply_rx.recv().expect("worker died before first report");
+                mins[r.worker] = r.local_min;
+            }
+
+            let mut staged: Vec<OutMsg<L::Event>> = Vec::new();
+            loop {
+                let queue_min = mins.iter().flatten().copied().fold(f64::INFINITY, f64::min);
+                let staged_min = staged.iter().map(|o| o.at).fold(f64::INFINITY, f64::min);
+                let m = queue_min.min(staged_min);
+                if !m.is_finite() {
+                    break;
+                }
+                let window = planner.plan(m);
+                obs.on_window(stats.windows, m, window.end, window.control);
+
+                // Route the previous barrier's messages with this window's
+                // start command; canonical order is preserved per worker
+                // because routing filters a globally sorted list.
+                let mut deliveries: Vec<Vec<(u32, f64, L::Event)>> =
+                    (0..threads).map(|_| Vec::new()).collect();
+                for msg in staged.drain(..) {
+                    deliveries[owner[msg.dst as usize]].push((msg.dst, msg.at, msg.ev));
+                }
+                for (tx, del) in cmd_txs.iter().zip(deliveries.drain(..)) {
+                    tx.send(Cmd::Go {
+                        end: window.end,
+                        inclusive: window.inclusive,
+                        deliveries: del,
+                    })
+                    .expect("worker hung up mid-run");
+                }
+                for _ in 0..threads {
+                    let r = reply_rx.recv().expect("worker died mid-window");
+                    mins[r.worker] = r.local_min;
+                    stats.events += r.events;
+                    staged.extend(r.outbox);
+                }
+                stats.cross_messages += staged.len() as u64;
+                merge_barrier(&mut staged, &window, obs);
+                stats.windows += 1;
+                stats.control_windows += u64::from(window.control);
+            }
+
+            for tx in &cmd_txs {
+                tx.send(Cmd::Quit).expect("worker hung up at shutdown");
+            }
+            for _ in 0..threads {
+                let (_, part) = done_rx.recv().expect("worker died at shutdown");
+                for (lp, unit) in part {
+                    logics[lp] = Some(unit.logic);
+                }
+            }
+        });
+
+        obs.on_run_end(stats.windows);
+        let logics = logics
+            .into_iter()
+            .map(|l| l.expect("every LP returned by exactly one worker"))
+            .collect();
+        (logics, stats)
+    }
+}
+
+impl<L: LpLogic> std::fmt::Debug for ShardedSim<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSim")
+            .field("lps", &self.lps.len())
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+/// A planned execution window.
+struct Window {
+    /// Window start: the global minimum pending timestamp.
+    start: f64,
+    /// Window end. Events fire if `t < end` (or `t <= end` when
+    /// `inclusive`).
+    end: f64,
+    /// Whether the end bound is inclusive (control windows cover exactly
+    /// their start instant).
+    inclusive: bool,
+    /// Whether this is a zero-lookahead control window at a sync point.
+    control: bool,
+}
+
+impl Window {
+    /// The earliest delivery time conservative correctness allows for
+    /// messages emitted inside this window.
+    fn floor(&self) -> f64 {
+        if self.control {
+            self.start
+        } else {
+            self.end
+        }
+    }
+}
+
+/// Turns successive global-minimum timestamps into windows, consuming
+/// sync points as the clock passes them.
+struct WindowPlanner<'a> {
+    lookahead: f64,
+    sync_points: &'a [f64],
+    cursor: usize,
+}
+
+impl<'sim> WindowPlanner<'sim> {
+    fn new(cfg: &'sim WindowConfig) -> Self {
+        WindowPlanner {
+            lookahead: cfg.lookahead,
+            sync_points: &cfg.sync_points,
+            cursor: 0,
+        }
+    }
+
+    fn plan(&mut self, m: f64) -> Window {
+        // Sync instants nothing fired at are skipped: a control window
+        // only matters when an event executes exactly at the instant.
+        while self.cursor < self.sync_points.len() && self.sync_points[self.cursor] < m {
+            self.cursor += 1;
+        }
+        if self.cursor < self.sync_points.len() && self.sync_points[self.cursor] == m {
+            self.cursor += 1;
+            return Window {
+                start: m,
+                end: m,
+                inclusive: true,
+                control: true,
+            };
+        }
+        // Cap the window at the next sync point so no event scheduled at
+        // the sync instant executes before its control window.
+        let mut end = m + self.lookahead;
+        if self.cursor < self.sync_points.len() {
+            end = end.min(self.sync_points[self.cursor]);
+        }
+        Window {
+            start: m,
+            end,
+            inclusive: false,
+            control: false,
+        }
+    }
+}
+
+/// Drains LP `lp`'s events inside `window`, staging cross-LP sends into
+/// `staged`. Returns the number of events processed.
+fn drain_window<L: LpLogic>(
+    lp: LpId,
+    unit: &mut LpUnit<L>,
+    window: &Window,
+    n_lps: usize,
+    staged: &mut Vec<OutMsg<L::Event>>,
+) -> u64 {
+    let mut events = 0;
+    while let Some(t) = unit.queue.peek_time() {
+        let ts = t.as_secs();
+        let fires = if window.inclusive {
+            ts <= window.end
+        } else {
+            ts < window.end
+        };
+        if !fires {
+            break;
+        }
+        let Some((now, ev)) = unit.queue.pop() else {
+            break;
+        };
+        let LpUnit { logic, queue, emit } = unit;
+        let mut ctx = LpCtx {
+            lp,
+            n_lps,
+            now,
+            queue,
+            outbox: staged,
+            emit,
+        };
+        logic.on_event(now, ev, &mut ctx);
+        events += 1;
+    }
+    events
+}
+
+/// Sorts a barrier's staged messages into canonical `(time, source LP,
+/// emission sequence)` order and enforces the conservative delivery
+/// floor, reporting each handoff to the observer first.
+fn merge_barrier<E>(staged: &mut [OutMsg<E>], window: &Window, obs: &dyn WindowObserver) {
+    staged.sort_unstable_by_key(|o| (o.at.to_bits(), o.src, o.emit));
+    let floor = window.floor();
+    for msg in staged.iter() {
+        obs.on_handoff(
+            msg.src as usize,
+            msg.dst as usize,
+            msg.at,
+            floor,
+            window.control,
+        );
+        assert!(
+            msg.at >= floor,
+            "conservative lookahead violated: LP{} -> LP{} message at t={} \
+             delivered inside the window ending at t={} (control={})",
+            msg.src,
+            msg.dst,
+            msg.at,
+            floor,
+            window.control
+        );
+    }
+}
+
+/// A worker's LP partition handed back to the coordinator when the run
+/// ends: `(worker index, owned (LP id, unit) pairs)`.
+type DonePartition<L> = (usize, Vec<(usize, LpUnit<L>)>);
+
+/// Worker thread body: apply barrier deliveries, drain the window over
+/// the owned LPs, report the outbox and new local minimum. LPs are
+/// drained in ascending LP order (the partition preserves it), matching
+/// the inline path.
+fn worker_loop<L: LpLogic>(
+    worker: usize,
+    mut part: Vec<(usize, LpUnit<L>)>,
+    n_lps: usize,
+    cmd_rx: &mpsc::Receiver<Cmd<L::Event>>,
+    reply_tx: &mpsc::Sender<Reply<L::Event>>,
+    done_tx: &mpsc::Sender<DonePartition<L>>,
+) {
+    // Dense global-LP → local index map (workers own few LPs each).
+    let mut local = vec![usize::MAX; n_lps];
+    for (i, (lp, _)) in part.iter().enumerate() {
+        local[*lp] = i;
+    }
+    let local_min = |part: &Vec<(usize, LpUnit<L>)>| {
+        part.iter()
+            .filter_map(|(_, u)| u.queue.peek_time())
+            .min()
+            .map(SimTime::as_secs)
+    };
+    reply_tx
+        .send(Reply {
+            worker,
+            outbox: Vec::new(),
+            local_min: local_min(&part),
+            events: 0,
+        })
+        .expect("coordinator hung up before first report");
+
+    while let Ok(Cmd::Go {
+        end,
+        inclusive,
+        deliveries,
+    }) = cmd_rx.recv()
+    {
+        for (dst, at, ev) in deliveries {
+            part[local[dst as usize]]
+                .1
+                .queue
+                .schedule(SimTime::from_secs(at), ev);
+        }
+        let window = Window {
+            start: end, // unused on the worker side
+            end,
+            inclusive,
+            control: inclusive,
+        };
+        let mut outbox = Vec::new();
+        let mut events = 0;
+        for (lp, unit) in &mut part {
+            events += drain_window(*lp, unit, &window, n_lps, &mut outbox);
+        }
+        reply_tx
+            .send(Reply {
+                worker,
+                outbox,
+                local_min: local_min(&part),
+                events,
+            })
+            .expect("coordinator hung up mid-run");
+    }
+    done_tx
+        .send((worker, part))
+        .expect("coordinator hung up at shutdown");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A toy LP: accumulates an order-sensitive checksum of everything it
+    /// processes and forwards `hops`-long message chains to a neighbor
+    /// with the configured delay.
+    struct Relay {
+        lp: LpId,
+        n: usize,
+        delay: f64,
+        /// Order-sensitive fold: different processing orders give
+        /// different bit patterns.
+        acc: f64,
+        count: u64,
+    }
+
+    #[derive(Debug)]
+    struct Hop {
+        hops: u32,
+        val: u32,
+    }
+
+    impl LpLogic for Relay {
+        type Event = Hop;
+        fn on_event(&mut self, now: SimTime, ev: Hop, ctx: &mut LpCtx<'_, Hop>) {
+            self.acc = self.acc * 1.000_000_1 + f64::from(ev.val) + now.as_secs();
+            self.count += 1;
+            if ev.hops > 0 {
+                let dst = (self.lp + 1 + ev.val as usize) % self.n;
+                let ev = Hop {
+                    hops: ev.hops - 1,
+                    val: ev.val.wrapping_mul(31).wrapping_add(7),
+                };
+                if dst == self.lp {
+                    ctx.schedule_in(self.delay, ev);
+                } else {
+                    ctx.send_in(dst, self.delay, ev);
+                }
+            }
+        }
+    }
+
+    fn relays(n: usize, delay: f64) -> Vec<Relay> {
+        (0..n)
+            .map(|lp| Relay {
+                lp,
+                n,
+                delay,
+                acc: 0.0,
+                count: 0,
+            })
+            .collect()
+    }
+
+    fn digest(logics: &[Relay]) -> Vec<(u64, u64)> {
+        logics.iter().map(|l| (l.acc.to_bits(), l.count)).collect()
+    }
+
+    fn run_config(n: usize, shards: usize, threads: usize) -> (Vec<(u64, u64)>, WindowStats) {
+        let cfg = WindowConfig {
+            lookahead: 0.5,
+            shards,
+            threads,
+            sync_points: Vec::new(),
+        };
+        let mut sim = ShardedSim::new(relays(n, 0.5), cfg);
+        for lp in 0..n {
+            sim.schedule(
+                lp,
+                SimTime::from_secs(lp as f64 * 0.25),
+                Hop {
+                    hops: 12,
+                    val: lp as u32,
+                },
+            );
+        }
+        let (logics, stats) = sim.run();
+        (digest(&logics), stats)
+    }
+
+    #[test]
+    fn digests_invariant_under_shard_and_thread_count() {
+        let (reference, ref_stats) = run_config(6, 1, 1);
+        for (shards, threads) in [(2, 1), (2, 2), (4, 2), (4, 4), (8, 4), (3, 3)] {
+            let (got, stats) = run_config(6, shards, threads);
+            assert_eq!(got, reference, "digest diverged at S={shards} T={threads}");
+            assert_eq!(stats.events, ref_stats.events);
+            assert_eq!(stats.cross_messages, ref_stats.cross_messages);
+        }
+        assert!(ref_stats.events > 0);
+        assert!(ref_stats.cross_messages > 0);
+    }
+
+    #[test]
+    fn window_boundary_ties_deliver_exactly_at_lookahead() {
+        // delay == lookahead: every cross-LP message lands exactly on its
+        // producing window's end — the boundary case the conservative
+        // check must accept and order canonically.
+        let (reference, _) = run_config(4, 1, 1);
+        let (got, _) = run_config(4, 4, 2);
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn single_lp_runs_in_one_window_with_infinite_lookahead() {
+        let cfg = WindowConfig::sequential(f64::INFINITY);
+        let mut sim = ShardedSim::new(relays(1, 1.0), cfg);
+        sim.schedule(0, SimTime::ZERO, Hop { hops: 5, val: 3 });
+        let (logics, stats) = sim.run();
+        assert_eq!(logics[0].count, 6);
+        assert_eq!(stats.windows, 1);
+        assert_eq!(stats.cross_messages, 0);
+    }
+
+    /// Logic that sends with a delay below the lookahead: the barrier
+    /// must reject it.
+    struct Cheater;
+
+    impl LpLogic for Cheater {
+        type Event = u32;
+        fn on_event(&mut self, _now: SimTime, ev: u32, ctx: &mut LpCtx<'_, u32>) {
+            if ctx.lp() == 0 && ev == 0 {
+                ctx.send_in(1, 0.01, 1); // lookahead is 1.0: too early
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "conservative lookahead violated")]
+    fn early_handoff_trips_the_barrier_check() {
+        let cfg = WindowConfig {
+            lookahead: 1.0,
+            shards: 2,
+            threads: 1,
+            sync_points: Vec::new(),
+        };
+        let mut sim = ShardedSim::new(vec![Cheater, Cheater], cfg);
+        sim.schedule(0, SimTime::ZERO, 0);
+        sim.run();
+    }
+
+    /// Control-plane logic: LP 0 broadcasts a zero-delay reconfiguration
+    /// at the sync instant; LP 1 records whether it saw the new value
+    /// before its next ordinary event.
+    struct Ctl {
+        setting: u32,
+        observed: Vec<(u64, u32)>,
+    }
+
+    #[derive(Debug)]
+    enum CtlEv {
+        Tick,
+        Set(u32),
+        Probe,
+    }
+
+    impl LpLogic for Ctl {
+        type Event = CtlEv;
+        fn on_event(&mut self, now: SimTime, ev: CtlEv, ctx: &mut LpCtx<'_, CtlEv>) {
+            match ev {
+                CtlEv::Tick => ctx.send(1, now, CtlEv::Set(99)),
+                CtlEv::Set(v) => self.setting = v,
+                CtlEv::Probe => self.observed.push((now.as_secs().to_bits(), self.setting)),
+            }
+        }
+    }
+
+    #[test]
+    fn sync_points_allow_zero_lookahead_control_sends() {
+        for (shards, threads) in [(1, 1), (2, 2)] {
+            let cfg = WindowConfig {
+                lookahead: 10.0,
+                shards,
+                threads,
+                sync_points: vec![5.0],
+            };
+            let logics = vec![
+                Ctl {
+                    setting: 0,
+                    observed: Vec::new(),
+                },
+                Ctl {
+                    setting: 0,
+                    observed: Vec::new(),
+                },
+            ];
+            let mut sim = ShardedSim::new(logics, cfg);
+            sim.schedule(0, SimTime::from_secs(5.0), CtlEv::Tick);
+            sim.schedule(1, SimTime::from_secs(4.0), CtlEv::Probe);
+            sim.schedule(1, SimTime::from_secs(5.5), CtlEv::Probe);
+            let (logics, stats) = sim.run();
+            assert_eq!(stats.control_windows, 1, "S={shards} T={threads}");
+            // Before the tick: default. Strictly after: reconfigured.
+            assert_eq!(
+                logics[1].observed,
+                vec![(4.0f64.to_bits(), 0), (5.5f64.to_bits(), 99)],
+                "S={shards} T={threads}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "conservative lookahead violated")]
+    fn zero_delay_send_outside_sync_point_is_rejected() {
+        let cfg = WindowConfig {
+            lookahead: 10.0,
+            shards: 2,
+            threads: 1,
+            sync_points: vec![5.0], // tick fires at 6.0: not a sync point
+        };
+        let logics = vec![
+            Ctl {
+                setting: 0,
+                observed: Vec::new(),
+            },
+            Ctl {
+                setting: 0,
+                observed: Vec::new(),
+            },
+        ];
+        let mut sim = ShardedSim::new(logics, cfg);
+        sim.schedule(0, SimTime::from_secs(6.0), CtlEv::Tick);
+        sim.run();
+    }
+
+    struct CountingObserver {
+        windows: AtomicU64,
+        handoffs: AtomicU64,
+    }
+
+    impl WindowObserver for CountingObserver {
+        fn on_window(&self, _i: u64, _s: f64, _e: f64, _c: bool) {
+            self.windows.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_handoff(&self, _src: LpId, _dst: LpId, _at: f64, _floor: f64, _control: bool) {
+            self.handoffs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_window_and_handoff() {
+        let obs = CountingObserver {
+            windows: AtomicU64::new(0),
+            handoffs: AtomicU64::new(0),
+        };
+        let cfg = WindowConfig {
+            lookahead: 0.5,
+            shards: 4,
+            threads: 2,
+            sync_points: Vec::new(),
+        };
+        let mut sim = ShardedSim::new(relays(4, 0.5), cfg);
+        for lp in 0..4 {
+            sim.schedule(
+                lp,
+                SimTime::ZERO,
+                Hop {
+                    hops: 8,
+                    val: lp as u32,
+                },
+            );
+        }
+        let (_, stats) = sim.run_observed(&obs);
+        assert_eq!(obs.windows.load(Ordering::Relaxed), stats.windows);
+        assert_eq!(obs.handoffs.load(Ordering::Relaxed), stats.cross_messages);
+        assert!(stats.cross_messages > 0);
+    }
+}

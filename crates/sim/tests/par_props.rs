@@ -1,0 +1,170 @@
+//! Property test: sharded windowed execution is observationally identical
+//! to the sequential reference at every shard/thread count.
+//!
+//! The workload is deliberately tie-heavy: event times live on a coarse
+//! grid of half-lookahead steps, so events collide at exact instants and
+//! cross-LP messages land exactly on window boundaries — the cases where
+//! the canonical `(time, source LP, emission sequence)` barrier merge is
+//! the only thing standing between parallel execution and digest drift.
+
+use er_sim::{LpCtx, LpId, LpLogic, ShardedSim, SimTime, WindowConfig};
+use proptest::prelude::*;
+
+const LOOKAHEAD: f64 = 1.0;
+
+/// A toy LP whose state folds every observation in processing order:
+/// an FP accumulation (order-sensitive in the last bits) plus an FNV-1a
+/// digest over `(time bits, value)`. Any reordering anywhere shows up.
+struct Probe {
+    lp: LpId,
+    n: usize,
+    acc: f64,
+    fnv: u64,
+    count: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Msg {
+    hops: u8,
+    val: u32,
+}
+
+impl Probe {
+    fn new(lp: LpId, n: usize) -> Self {
+        Probe {
+            lp,
+            n,
+            acc: 0.0,
+            fnv: 0xcbf2_9ce4_8422_2325,
+            count: 0,
+        }
+    }
+
+    fn fold(&mut self, x: u64) {
+        self.fnv = (self.fnv ^ x).wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+impl LpLogic for Probe {
+    type Event = Msg;
+
+    fn on_event(&mut self, now: SimTime, ev: Msg, ctx: &mut LpCtx<'_, Msg>) {
+        self.acc = self.acc * 1.000_000_1 + f64::from(ev.val) * 0.5 + now.as_secs();
+        self.fold(now.as_secs().to_bits());
+        self.fold(u64::from(ev.val));
+        self.count += 1;
+        if ev.hops == 0 {
+            return;
+        }
+        let next = Msg {
+            hops: ev.hops - 1,
+            val: ev.val.wrapping_mul(2_654_435_761).rotate_left(7),
+        };
+        // Delays are whole or half multiples of the lookahead, so many
+        // messages land exactly on a window boundary (delay == lookahead)
+        // and locals collide with remote deliveries at equal instants.
+        let dst = (self.lp + 1 + ev.val as usize) % self.n;
+        let delay = LOOKAHEAD * (1.0 + f64::from(ev.val % 3) * 0.5);
+        if dst == self.lp {
+            ctx.schedule_in(delay * 0.5, next);
+        } else {
+            ctx.send_in(dst, delay, next);
+        }
+    }
+}
+
+/// Full run digest: per-LP `(acc bits, fnv, count)` in LP order.
+fn run_digest(
+    n_lps: usize,
+    seeds: &[(usize, u8, u8, u32)],
+    shards: usize,
+    threads: usize,
+) -> Vec<(u64, u64, u64)> {
+    let cfg = WindowConfig {
+        lookahead: LOOKAHEAD,
+        shards,
+        threads,
+        sync_points: Vec::new(),
+    };
+    let logics = (0..n_lps).map(|lp| Probe::new(lp, n_lps)).collect();
+    let mut sim = ShardedSim::new(logics, cfg);
+    for &(lp, grid, hops, val) in seeds {
+        let at = SimTime::from_secs(f64::from(grid) * (LOOKAHEAD * 0.5));
+        sim.schedule(lp % n_lps, at, Msg { hops, val });
+    }
+    let (logics, _) = sim.run();
+    logics
+        .iter()
+        .map(|l| (l.acc.to_bits(), l.fnv, l.count))
+        .collect()
+}
+
+proptest! {
+    /// Same seed events ⇒ bit-identical per-LP digests at 1, 2, 4, and 8
+    /// shards and assorted thread counts, on workloads full of exact-time
+    /// ties and boundary-exact deliveries.
+    #[test]
+    fn parallel_digests_match_sequential(
+        n_lps in 1usize..6,
+        seeds in proptest::collection::vec(
+            (0usize..6, 0u8..8, 0u8..5, 0u32..u32::MAX),
+            1..12,
+        ),
+    ) {
+        let reference = run_digest(n_lps, &seeds, 1, 1);
+        for (shards, threads) in [(2, 1), (2, 2), (4, 2), (4, 4), (8, 3), (8, 8)] {
+            let got = run_digest(n_lps, &seeds, shards, threads);
+            prop_assert_eq!(
+                &got,
+                &reference,
+                "digest diverged at shards={} threads={}",
+                shards,
+                threads
+            );
+        }
+    }
+
+    /// With sync points carving arbitrary control windows into the run,
+    /// digests are still invariant under shard and thread count. (Window
+    /// *structure* is part of the simulation's semantics — it orders
+    /// same-instant ties across barriers — but it is a pure function of
+    /// lookahead, sync points, and event times, never of S or T.)
+    #[test]
+    fn sync_point_partitions_stay_shard_invariant(
+        n_lps in 2usize..5,
+        seeds in proptest::collection::vec(
+            (0usize..5, 0u8..6, 0u8..4, 0u32..u32::MAX),
+            1..8,
+        ),
+        sync_grid in proptest::collection::btree_set(1u8..20, 0..6),
+    ) {
+        let sync_points: Vec<f64> =
+            sync_grid.iter().map(|&g| f64::from(g) * (LOOKAHEAD * 0.5)).collect();
+        let mut runs = [(1usize, 1usize), (2, 2), (4, 2), (8, 8)].iter().map(|&(shards, threads)| {
+            let cfg = WindowConfig {
+                lookahead: LOOKAHEAD,
+                shards,
+                threads,
+                sync_points: sync_points.clone(),
+            };
+            let logics = (0..n_lps).map(|lp| Probe::new(lp, n_lps)).collect();
+            let mut sim = ShardedSim::new(logics, cfg);
+            for &(lp, grid, hops, val) in &seeds {
+                let at = SimTime::from_secs(f64::from(grid) * (LOOKAHEAD * 0.5));
+                sim.schedule(lp % n_lps, at, Msg { hops, val });
+            }
+            let (logics, stats) = sim.run();
+            let digest: Vec<(u64, u64, u64)> = logics
+                .iter()
+                .map(|l| (l.acc.to_bits(), l.fnv, l.count))
+                .collect();
+            (digest, stats)
+        });
+        let (reference, ref_stats) = runs.next().unwrap();
+        for (digest, stats) in runs {
+            prop_assert_eq!(&digest, &reference);
+            // Window structure itself must be invariant too.
+            prop_assert_eq!(stats, ref_stats);
+        }
+    }
+}
