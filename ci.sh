@@ -58,6 +58,10 @@ run_stage "perfsuite smoke" ./target/release/perfsuite --smoke
 # The parallel simulation core's contract: the sharded windowed engine is
 # bit-identical at 1/2/4/8 worker threads on a Figure 19-class scenario.
 run_stage "par-sim parity" ./target/release/perfsuite --par-parity
+# The quantized data plane's contract: every available SIMD backend
+# produces bit-identical f32 gathers, and f16/i8 gathers stay inside their
+# analytic error bounds (unavailable backends are logged as skipped).
+run_stage "quant parity" ./target/release/perfsuite --quant-parity
 
 echo
 echo "CI OK"

@@ -23,9 +23,17 @@
 //! on 1/2/4/8 worker threads. The four parallel digests must be identical
 //! — the suite exits nonzero if any thread count changes a single bit.
 //!
+//! A fifth group covers the quantized data plane: `quant_{f32,f16,i8}_d64`
+//! time the fused CSR gather over a dim-64 table in each storage kind
+//! (same index stream, so the wall-clock ratio is the bandwidth win of
+//! narrow storage; full mode enforces i8 >= 1.8x of f32), and the
+//! `coalesce_{single,batched}` pair times per-query gathers against one
+//! [`elasticrec::GatherCoalescer`] batch — their digests must be
+//! bit-identical or the suite exits nonzero.
+//!
 //! Usage:
 //!   perfsuite [--smoke] [--out PATH] [--baseline PATH] [--fleet]
-//!             [--par-parity] [--no-enforce-speedup]
+//!             [--par-parity] [--quant-parity] [--no-enforce-speedup]
 //!
 //! `--smoke` runs a tiny configuration (CI-sized), writes to
 //! `target/BENCH_perf_smoke.json` by default, and validates the emitted
@@ -33,19 +41,25 @@
 //! `wall_secs` per section are embedded, speedups computed, and any
 //! section slower than 0.95x of its baseline fails the run (opt out with
 //! `--no-enforce-speedup`). `--par-parity` runs only the parallel-engine
-//! digest-equality check (the CI stage). `--fleet` adds the 1000-node
-//! synthetic fleet scenario as a timed section.
+//! digest-equality check (the CI stage); `--quant-parity` runs only the
+//! quantized-data-plane checks: f32 gather digests bit-identical across
+//! every available SIMD backend, and quantized gathers within their
+//! analytic error bounds. `--fleet` adds the 1000-node synthetic fleet
+//! scenario as a timed section.
 
 use std::time::Instant;
 
 use elasticrec::{
-    plan, Calibration, ParSimConfig, ParSimulation, Platform, ShardedDlrm, Simulation,
-    SimulationConfig, SimulationOutcome, Strategy,
+    plan, Calibration, GatherCoalescer, ParSimConfig, ParSimulation, Platform, ShardedDlrm,
+    Simulation, SimulationConfig, SimulationOutcome, Strategy,
 };
 use er_bench::perf::{self, Digest, PerfReport, Section};
-use er_model::{configs, Dlrm, QueryGenerator};
+use er_model::{configs, Dlrm, EmbeddingTable, QueryGenerator, TableLookup};
 use er_partition::PartitionPlan;
 use er_sim::{EventQueue, SimRng};
+use er_tensor::simd::{gather_pool_csr_with, SimdBackend};
+use er_tensor::Matrix;
+use er_units::ElemKind;
 use er_workload::TrafficSchedule;
 
 /// Scale knobs for one suite run.
@@ -62,6 +76,19 @@ struct Scale {
     sim_duration: f64,
     /// Base QPS of the fig19 stepped schedule (peaks at 5x).
     sim_base_qps: f64,
+    /// Embedding rows in the quantized-gather table (dim 64). Full scale
+    /// puts every kind well past the private caches (f32 ~102 MB, i8
+    /// ~26 MB) with hash-scattered indices, so each gather pays the
+    /// memory hierarchy per row and — with cache-line-aligned storage —
+    /// the kinds' line traffic is exactly their byte ratio. This is the
+    /// regime where narrow storage pays and the paper's placement model
+    /// applies.
+    quant_rows: u32,
+    /// Timed gather calls per storage kind, split across interleaved
+    /// rounds by `bench_quant`.
+    quant_iters: u64,
+    /// Indices pooled per output row in the quantized-gather lookup.
+    quant_pooling: usize,
 }
 
 const FULL: Scale = Scale {
@@ -71,6 +98,9 @@ const FULL: Scale = Scale {
     forward_rows: 2000,
     sim_duration: 320.0,
     sim_base_qps: 60.0,
+    quant_rows: 400_000,
+    quant_iters: 40,
+    quant_pooling: 32,
 };
 
 const SMOKE: Scale = Scale {
@@ -80,6 +110,9 @@ const SMOKE: Scale = Scale {
     forward_rows: 300,
     sim_duration: 20.0,
     sim_base_qps: 20.0,
+    quant_rows: 2_000,
+    quant_iters: 3,
+    quant_pooling: 8,
 };
 
 /// Thread counts the parallel engine is timed (and parity-checked) at.
@@ -93,6 +126,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let par_parity = args.iter().any(|a| a == "--par-parity");
+    let quant_parity = args.iter().any(|a| a == "--quant-parity");
     let fleet = args.iter().any(|a| a == "--fleet");
     let enforce_speedup = !args.iter().any(|a| a == "--no-enforce-speedup");
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| {
@@ -120,6 +154,15 @@ fn main() {
         return;
     }
 
+    if quant_parity {
+        // The CI stage: f32 gather digests must agree across every SIMD
+        // backend this CPU offers, and quantized gathers must stay within
+        // their analytic error bounds. Nothing written; nonzero exit on
+        // the first violation.
+        run_quant_parity();
+        return;
+    }
+
     let scale = if smoke { &SMOKE } else { &FULL };
 
     let mut report = PerfReport::new(if smoke { "smoke" } else { "full" });
@@ -128,6 +171,12 @@ fn main() {
     report.push(bench_forward(scale));
     report.push(bench_fig19(scale));
     for s in bench_par(scale) {
+        report.push(s);
+    }
+    for s in bench_quant(scale, !smoke) {
+        report.push(s);
+    }
+    for s in bench_coalesce(scale) {
         report.push(s);
     }
     if fleet {
@@ -390,4 +439,259 @@ fn bench_fleet() -> Section {
         out.completed_queries,
         digest_outcome(&out),
     )
+}
+
+/// Deterministic CSR lookup over `rows`: `inputs` bags of `pooling`
+/// hash-scattered indices, so repeated gathers stream the whole table
+/// instead of re-hitting a small cached working set.
+fn quant_lookup(rows: u32, inputs: usize, pooling: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut indices = Vec::with_capacity(inputs * pooling);
+    let mut offsets = Vec::with_capacity(inputs);
+    for input in 0..inputs as u64 {
+        offsets.push(indices.len() as u32);
+        for k in 0..pooling as u64 {
+            let h = (input * 131 + k)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .rotate_left(29);
+            indices.push((h % u64::from(rows)) as u32);
+        }
+    }
+    (indices, offsets)
+}
+
+/// Middle element of the sorted sample (upper median for even sizes).
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// The quantized-gather group: the same dim-64 CSR gather in f32, f16,
+/// and i8 storage. At full scale every kind sits well past the private
+/// caches, so with cache-line-aligned rows each gather's memory traffic
+/// is exactly the kind's row bytes (one line per i8 row, four per f32
+/// row) — the bandwidth advantage quantization buys and the effect
+/// ElasticRec's cost model prices into placement.
+///
+/// Timing is interleaved: each round runs every kind back to back
+/// inside the same machine-state window, so a co-tenant burst perturbs
+/// one round's ratio instead of one kind's entire wall. The recorded
+/// wall is the per-round median scaled to the round count, and the
+/// enforced speedup is the median of per-round f32/i8 ratios — both
+/// reject transient noise on a shared box. With `enforce` set (full
+/// mode), i8 must beat f32 by at least [`QUANT_I8_SPEEDUP_FLOOR`] or
+/// the suite exits nonzero.
+#[allow(clippy::disallowed_methods)] // benchmarks measure real elapsed time
+fn bench_quant(scale: &Scale, enforce: bool) -> Vec<Section> {
+    let dim = 64u32;
+    let rows = scale.quant_rows;
+    let f32_table = EmbeddingTable::with_seed(rows, dim, 97);
+    let (indices, offsets) = quant_lookup(rows, 8192, scale.quant_pooling);
+    let gathers_per_call = indices.len() as u64;
+
+    const ROUNDS: u64 = 10;
+    let per_round = (scale.quant_iters / ROUNDS).max(1);
+
+    let tables: Vec<_> = ElemKind::ALL
+        .iter()
+        .map(|&kind| f32_table.quantized(kind))
+        .collect();
+    let mut outs: Vec<Matrix> = tables
+        .iter()
+        .map(|_| Matrix::zeros(offsets.len(), dim as usize))
+        .collect();
+    let mut digests = vec![Digest::new(); tables.len()];
+    let mut walls = vec![Vec::with_capacity(ROUNDS as usize); tables.len()];
+
+    // Warm-up round (discarded): faults every kind's storage and page
+    // tables in; the first post-construction pass runs against caches
+    // full of quantization write-back and measures warm-up, not the
+    // storage kind.
+    for _ in 0..per_round {
+        for (table, out) in tables.iter().zip(&mut outs) {
+            table.gather_pool_into(&indices, &offsets, out);
+        }
+    }
+    for _ in 0..ROUNDS {
+        for k in 0..tables.len() {
+            // lint::allow(wall_clock): benchmarks measure real elapsed time by definition
+            let t0 = Instant::now();
+            for _ in 0..per_round {
+                tables[k].gather_pool_into(&indices, &offsets, &mut outs[k]);
+                digests[k].fold_f64(f64::from(outs[k].get(0, 0)));
+            }
+            walls[k].push(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    let mut sections = Vec::new();
+    for (k, kind) in ElemKind::ALL.iter().enumerate() {
+        // Fold one full pooled row for a stronger fingerprint.
+        for j in 0..dim as usize {
+            digests[k].fold_f64(f64::from(outs[k].get(0, j)));
+        }
+        sections.push(Section::new(
+            &format!("quant_{kind}_d64"),
+            median(&walls[k]) * ROUNDS as f64,
+            ROUNDS * per_round * gathers_per_call,
+            digests[k],
+        ));
+    }
+
+    // walls is ordered like ElemKind::ALL = [F32, F16, I8].
+    let paired = |num: &[f64], den: &[f64]| -> f64 {
+        let ratios: Vec<f64> = num.iter().zip(den).map(|(n, d)| n / d).collect();
+        median(&ratios)
+    };
+    let i8_speedup = paired(&walls[0], &walls[2]);
+    println!(
+        "quant gather d64: f16 {:.2}x, i8 {:.2}x vs f32 (median of {ROUNDS} paired rounds)",
+        paired(&walls[0], &walls[1]),
+        i8_speedup,
+    );
+    if enforce && i8_speedup < QUANT_I8_SPEEDUP_FLOOR {
+        eprintln!(
+            "perfsuite: i8 gather speedup {i8_speedup:.2}x below the \
+             {QUANT_I8_SPEEDUP_FLOOR}x floor vs f32"
+        );
+        std::process::exit(1);
+    }
+    sections
+}
+
+/// Minimum i8-vs-f32 gather speedup the full suite enforces.
+const QUANT_I8_SPEEDUP_FLOOR: f64 = 1.8;
+
+/// The coalescing pair: `coalesce_single` serves a fixed query set one
+/// gather per query; `coalesce_batched` pushes the same set through one
+/// [`GatherCoalescer`] flush per iteration. Their digests must match
+/// bit-for-bit (coalescing is a pure batching transform) or the suite
+/// exits nonzero.
+#[allow(clippy::disallowed_methods)] // benchmarks measure real elapsed time
+fn bench_coalesce(scale: &Scale) -> Vec<Section> {
+    let dim = 64u32;
+    let rows = scale.quant_rows.min(50_000);
+    let table = EmbeddingTable::with_seed(rows, dim, 101);
+    let queries: Vec<TableLookup> = (0..64u32)
+        .map(|q| {
+            let (idx, off) = quant_lookup(rows, 32, 16);
+            // Rotate each query's index stream so queries differ.
+            let idx = idx
+                .into_iter()
+                .map(|i| (i + q * 977) % rows)
+                .collect::<Vec<_>>();
+            // lint::allow(no_panic): quant_lookup emits offsets starting at 0, non-decreasing, in range
+            TableLookup::new(idx, off).expect("valid CSR")
+        })
+        .collect();
+    let iters = scale.quant_iters.max(4);
+    let work = iters * queries.len() as u64;
+
+    let mut scratch = Matrix::zeros(1, 1);
+    let mut single_digest = Digest::new();
+    // lint::allow(wall_clock): benchmarks measure real elapsed time by definition
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for q in &queries {
+            table.gather_pool_into(q.indices(), q.offsets(), &mut scratch);
+            single_digest.fold_f64(f64::from(scratch.get(0, 0)));
+        }
+    }
+    let single_wall = t0.elapsed().as_secs_f64();
+
+    let mut co = GatherCoalescer::new();
+    let mut batched_digest = Digest::new();
+    // lint::allow(wall_clock): benchmarks measure real elapsed time by definition
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for q in &queries {
+            co.push(q);
+        }
+        for pooled in co.flush(&table) {
+            batched_digest.fold_f64(f64::from(pooled.get(0, 0)));
+        }
+    }
+    let batched_wall = t0.elapsed().as_secs_f64();
+
+    if single_digest.hex() != batched_digest.hex() {
+        eprintln!(
+            "perfsuite: coalesced gather digest {} != per-query digest {}",
+            batched_digest.hex(),
+            single_digest.hex()
+        );
+        std::process::exit(1);
+    }
+    vec![
+        Section::new("coalesce_single", single_wall, work, single_digest),
+        Section::new("coalesce_batched", batched_wall, work, batched_digest),
+    ]
+}
+
+/// The `--quant-parity` CI stage: every SIMD backend this CPU offers must
+/// produce bit-identical f32 gathers (absent backends are skipped with an
+/// explicit log line), and the quantized gathers must stay within their
+/// analytic error bounds against the f32 reference.
+fn run_quant_parity() {
+    let dim = 64u32;
+    let rows = 4096u32;
+    let table = EmbeddingTable::with_seed(rows, dim, 97);
+    let (indices, offsets) = quant_lookup(rows, 512, 24);
+
+    // Backend parity on the raw f32 kernel, over a deterministic buffer.
+    let raw: Vec<f32> = (0..u64::from(rows) * u64::from(dim))
+        .map(|i| {
+            let h = i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31);
+            ((h % 2001) as f32 - 1000.0) / 10_000.0
+        })
+        .collect();
+    let mut digests = Vec::new();
+    for backend in SimdBackend::ALL {
+        if !backend.is_available() {
+            println!("quant-parity: SKIPPING backend {backend}: not available on this CPU");
+            continue;
+        }
+        let mut out = Matrix::zeros(offsets.len(), dim as usize);
+        gather_pool_csr_with(backend, &raw, rows, &indices, &offsets, &mut out);
+        let mut digest = Digest::new();
+        for r in 0..out.rows() {
+            for j in 0..out.cols() {
+                digest.fold_f64(f64::from(out.get(r, j)));
+            }
+        }
+        println!("quant-parity: backend {backend}: digest {}", digest.hex());
+        digests.push(digest.hex());
+    }
+    if digests.iter().any(|d| d != &digests[0]) {
+        eprintln!("perfsuite: f32 gather digests diverged across backends: {digests:?}");
+        std::process::exit(1);
+    }
+
+    // Quantized error bounds against the f32 reference.
+    let mut reference = Matrix::zeros(1, 1);
+    table.gather_pool_into(&indices, &offsets, &mut reference);
+    for kind in [ElemKind::F16, ElemKind::I8] {
+        let q = table.quantized(kind);
+        let mut got = Matrix::zeros(1, 1);
+        q.gather_pool_into(&indices, &offsets, &mut got);
+        let bound = table.quant_error_bound(kind, &indices, &offsets);
+        let mut worst = 0.0f32;
+        for r in 0..got.rows() {
+            for j in 0..got.cols() {
+                let err = (got.get(r, j) - reference.get(r, j)).abs();
+                if err > bound.get(r, j) {
+                    eprintln!(
+                        "perfsuite: {kind} gather error {err} exceeds bound {} at ({r},{j})",
+                        bound.get(r, j)
+                    );
+                    std::process::exit(1);
+                }
+                worst = worst.max(err / bound.get(r, j).max(f32::MIN_POSITIVE));
+            }
+        }
+        println!("quant-parity: {kind} within analytic bound (worst {worst:.3} of bound)");
+    }
+    println!(
+        "quant parity ok: {} backends agree, quantized errors bounded",
+        digests.len()
+    );
 }

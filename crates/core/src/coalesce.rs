@@ -1,0 +1,182 @@
+//! Engine-level gather coalescing on the functional data plane.
+//!
+//! The simulation's [`crate::SimulationConfig::coalesce_window_secs`]
+//! models the *timing* effect of batching embedding requests; this module
+//! is the corresponding data-plane mechanism. A [`GatherCoalescer`]
+//! concatenates several queries' CSR lookups against one embedding table
+//! into a single fused gather, then splits the pooled rows back out per
+//! query. Pooling is independent per output row, so the batched kernel
+//! performs exactly the FP op sequence each per-query gather would —
+//! results are bit-identical; the batch only amortizes per-invocation
+//! overhead (request decode, kernel entry, dispatch) across queries.
+
+use er_model::{EmbeddingTable, TableLookup};
+use er_tensor::Matrix;
+
+/// Batches queries' lookups against one embedding table into one gather.
+///
+/// # Examples
+///
+/// ```
+/// use elasticrec::GatherCoalescer;
+/// use er_model::{EmbeddingTable, TableLookup};
+/// use er_tensor::Matrix;
+///
+/// let table = EmbeddingTable::with_seed(8, 4, 1);
+/// let a = TableLookup::new(vec![0, 3, 5], vec![0, 2]).unwrap();
+/// let b = TableLookup::new(vec![7, 1], vec![0, 1]).unwrap();
+///
+/// let mut co = GatherCoalescer::new();
+/// co.push(&a);
+/// co.push(&b);
+/// let pooled = co.flush(&table);
+///
+/// // Each query's slice is bit-identical to its standalone gather.
+/// assert_eq!(pooled[0], table.gather_pool(&a));
+/// assert_eq!(pooled[1], table.gather_pool(&b));
+/// ```
+#[derive(Debug)]
+pub struct GatherCoalescer {
+    indices: Vec<u32>,
+    offsets: Vec<u32>,
+    /// Pooled output rows contributed by each enqueued query, in order.
+    rows_per_query: Vec<usize>,
+    scratch: Matrix,
+}
+
+impl Default for GatherCoalescer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GatherCoalescer {
+    /// An empty coalescer. Buffers grow on demand and are retained across
+    /// flushes, so a long-lived coalescer stops allocating once warm.
+    pub fn new() -> Self {
+        Self {
+            indices: Vec::new(),
+            offsets: Vec::new(),
+            rows_per_query: Vec::new(),
+            scratch: Matrix::zeros(1, 1),
+        }
+    }
+
+    /// Enqueues one query's lookup into the pending batch.
+    pub fn push(&mut self, lookup: &TableLookup) {
+        // lint::allow(no_panic): CSR index streams are bounded well below u32::MAX rows
+        let base = u32::try_from(self.indices.len()).expect("coalesced index stream fits u32");
+        self.offsets
+            .extend(lookup.offsets().iter().map(|&o| base + o));
+        self.indices.extend_from_slice(lookup.indices());
+        self.rows_per_query.push(lookup.num_inputs());
+    }
+
+    /// Queries currently buffered.
+    pub fn pending(&self) -> usize {
+        self.rows_per_query.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.rows_per_query.is_empty()
+    }
+
+    /// Gathers the whole batch in one kernel invocation against `table`
+    /// and returns each query's pooled rows, in enqueue order. The
+    /// coalescer is empty afterwards and can be reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a buffered lookup addresses a row outside `table`.
+    pub fn flush(&mut self, table: &EmbeddingTable) -> Vec<Matrix> {
+        table.gather_pool_into(&self.indices, &self.offsets, &mut self.scratch);
+        let dim = table.dim() as usize;
+        let mut out = Vec::with_capacity(self.rows_per_query.len());
+        let mut next = 0;
+        for &n in &self.rows_per_query {
+            let mut m = Matrix::zeros(n, dim);
+            for r in 0..n {
+                m.row_mut(r).copy_from_slice(self.scratch.row(next + r));
+            }
+            next += n;
+            out.push(m);
+        }
+        self.indices.clear();
+        self.offsets.clear();
+        self.rows_per_query.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_units::ElemKind;
+
+    /// Deterministic lookups with varied bag sizes, including empty bags.
+    fn lookups(rows: u32) -> Vec<TableLookup> {
+        let mut out = Vec::new();
+        let mut next = 13u32;
+        for q in 0..5u32 {
+            let mut indices = Vec::new();
+            let mut offsets = Vec::new();
+            for input in 0..(2 + q % 3) {
+                offsets.push(indices.len() as u32);
+                for _ in 0..((input + q) % 4) {
+                    indices.push(next % rows);
+                    next = next.wrapping_mul(2654435761).wrapping_add(1);
+                }
+            }
+            out.push(TableLookup::new(indices, offsets).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn coalesced_gather_is_bit_identical_per_query() {
+        // The contract must hold for every storage kind, since the engine
+        // may coalesce against quantized shards.
+        let f32_table = EmbeddingTable::with_seed(64, 12, 7);
+        for kind in ElemKind::ALL {
+            let table = f32_table.quantized(kind);
+            let queries = lookups(64);
+            let mut co = GatherCoalescer::new();
+            for q in &queries {
+                co.push(q);
+            }
+            assert_eq!(co.pending(), queries.len());
+            let pooled = co.flush(&table);
+            assert!(co.is_empty());
+            for (got, q) in pooled.iter().zip(&queries) {
+                assert_eq!(got, &table.gather_pool(q), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn coalescer_is_reusable_across_flushes_and_tables() {
+        let a = EmbeddingTable::with_seed(32, 8, 1);
+        let b = EmbeddingTable::with_seed(90, 4, 2);
+        let mut co = GatherCoalescer::new();
+        for (table, rows) in [(&a, 32), (&b, 90)] {
+            let queries = lookups(rows);
+            for q in &queries {
+                co.push(q);
+            }
+            let pooled = co.flush(table);
+            for (got, q) in pooled.iter().zip(&queries) {
+                assert_eq!(got, &table.gather_pool(q));
+            }
+        }
+    }
+
+    #[test]
+    fn single_query_batch_is_a_plain_gather() {
+        let table = EmbeddingTable::with_seed(16, 6, 3);
+        let q = TableLookup::new(vec![1, 15, 3], vec![0, 1]).unwrap();
+        let mut co = GatherCoalescer::new();
+        co.push(&q);
+        assert_eq!(co.flush(&table), vec![table.gather_pool(&q)]);
+    }
+}

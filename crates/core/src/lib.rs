@@ -38,6 +38,7 @@
 #![deny(missing_debug_implementations, unreachable_pub)]
 
 mod calib;
+mod coalesce;
 mod engine;
 mod executor;
 mod par_engine;
@@ -51,6 +52,7 @@ pub mod utility;
 mod workspace;
 
 pub use calib::Calibration;
+pub use coalesce::GatherCoalescer;
 pub use engine::{Simulation, SimulationConfig, SimulationOutcome, StageBreakdown};
 pub use executor::{ParallelShardExecutor, Pending};
 pub use par_engine::{ParSimConfig, ParSimulation};

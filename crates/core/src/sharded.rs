@@ -20,6 +20,7 @@ use er_distribution::sorting::HotnessPermutation;
 use er_model::{dot_interaction_into, Dlrm, EmbeddingTable, QueryBatch, TableLookup};
 use er_partition::{bucketize, bucketize_into, bucketize_tables, PartitionPlan};
 use er_tensor::Matrix;
+use er_units::{Bytes, ElemKind};
 
 use crate::{ForwardWorkspace, ParallelShardExecutor};
 
@@ -53,7 +54,7 @@ pub struct ShardedDlrm {
     executor: Option<Arc<ParallelShardExecutor>>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Inner {
     dlrm: Dlrm,
     perms: Vec<HotnessPermutation>,
@@ -149,6 +150,43 @@ impl ShardedDlrm {
     /// The attached executor, if any.
     pub fn executor(&self) -> Option<&Arc<ParallelShardExecutor>> {
         self.executor.as_ref()
+    }
+
+    /// Requantizes every shard's embedding storage to `kind`, leaving the
+    /// dense MLPs and the monolithic reference model in f32 — ElasticRec's
+    /// placement view of quantization: precision is a per-shard storage
+    /// decision, not a model change. All forward paths (sequential,
+    /// workspace, parallel) keep agreeing bit-for-bit on the quantized
+    /// storage; outputs track the f32 sharding within the kernels'
+    /// analytic error bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shards are no longer in f32 storage (requantizing an
+    /// already-quantized model would compound rounding error silently).
+    #[must_use]
+    pub fn with_elem_kind(self, kind: ElemKind) -> Self {
+        let Self { inner, executor } = self;
+        let mut inner = Arc::try_unwrap(inner).unwrap_or_else(|a| (*a).clone());
+        for shards in &mut inner.shard_tables {
+            for table in shards.iter_mut() {
+                *table = table.quantized(kind);
+            }
+        }
+        Self {
+            inner: Arc::new(inner),
+            executor,
+        }
+    }
+
+    /// Total bytes of embedding storage across all shards, reflecting each
+    /// shard's element kind.
+    pub fn shard_param_bytes(&self) -> Bytes {
+        self.inner
+            .shard_tables
+            .iter()
+            .flatten()
+            .fold(Bytes::ZERO, |acc, t| acc + t.bytes())
     }
 
     /// The underlying monolithic model.
@@ -536,6 +574,43 @@ mod tests {
                 assert_eq!(sharded.forward_seq(&q), par.forward(&q));
             }
         }
+    }
+
+    #[test]
+    fn quantized_shards_track_the_f32_path_within_tolerance() {
+        let (cfg, _, sharded) = setup(300, 3, vec![30, 120, 300]);
+        let q = QueryGenerator::new(&cfg).generate(&mut SimRng::seed_from(51));
+        let reference = sharded.forward_seq(&q);
+        let f32_bytes = sharded.shard_param_bytes();
+        for kind in [ElemKind::F16, ElemKind::I8] {
+            let quant = sharded.clone().with_elem_kind(kind);
+            // Quantized storage is strictly smaller.
+            assert!(
+                quant.shard_param_bytes().raw() < f32_bytes.raw(),
+                "{kind}: {:?} !< {f32_bytes:?}",
+                quant.shard_param_bytes()
+            );
+            let out = quant.forward_seq(&q);
+            let diff = reference.max_abs_diff(&out);
+            assert!(diff < 0.05, "{kind}: diff={diff}");
+            // Every serving path agrees bit-for-bit on quantized storage.
+            let mut ws = quant.workspace();
+            assert_eq!(*quant.forward_ws(&q, &mut ws), out, "{kind} ws");
+            let exec = ParallelShardExecutor::new(3);
+            assert_eq!(quant.forward_with(&q, &exec), out, "{kind} par");
+        }
+    }
+
+    #[test]
+    fn f32_requantization_is_an_exact_no_op() {
+        let (cfg, _, sharded) = setup(100, 2, vec![10, 50, 100]);
+        let q = QueryGenerator::new(&cfg).generate(&mut SimRng::seed_from(9));
+        let same = sharded.clone().with_elem_kind(ElemKind::F32);
+        assert_eq!(sharded.forward_seq(&q), same.forward_seq(&q));
+        assert_eq!(
+            sharded.shard_param_bytes().raw(),
+            same.shard_param_bytes().raw()
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ impl Default for Config {
                 "crates/tensor/src/simd.rs",
                 "crates/tensor/src/gather.rs",
                 "crates/tensor/src/reduce.rs",
+                "crates/tensor/src/quant.rs",
             ]),
             wall_clock_extra: strs(&["crates/bench"]),
             units: strs(&[

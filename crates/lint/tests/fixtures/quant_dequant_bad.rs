@@ -1,0 +1,18 @@
+//! Fixture: hand-rolled dequantize-and-pool loops outside the blessed
+//! quantized kernels (`crates/tensor/src/quant.rs`). Dequantization fixes
+//! a reduction order ad hoc exactly like any other float reduction.
+
+pub fn dequant_pool_i8(codes: &[i8], scale: f32) -> f32 {
+    codes.iter().map(|&q| scale * f32::from(q)).sum::<f32>() // violation: float_reduction
+}
+
+pub fn dequant_pool_f16(halves: &[u16]) -> f32 {
+    halves
+        .iter()
+        .map(|&h| f32::from_bits(u32::from(h) << 16))
+        .sum::<f32>() // violation: float_reduction
+}
+
+pub fn integer_code_sums_are_fine(codes: &[i8]) -> i32 {
+    codes.iter().map(i32::from).sum::<i32>()
+}

@@ -93,6 +93,21 @@ fn float_reduction_fixture_flags_f32_reductions_only() {
 }
 
 #[test]
+fn quant_dequant_fixture_flags_unblessed_dequant_loops() {
+    let src = include_str!("fixtures/quant_dequant_bad.rs");
+    let diags = check("crates/model/src/quant_dequant_bad.rs", src);
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![("float_reduction", 6), ("float_reduction", 13)],
+        "{diags:#?}"
+    );
+    // The same loops inside the blessed quantized-kernel module are fine:
+    // that is where dequantization is supposed to live.
+    let blessed = check("crates/tensor/src/quant.rs", src);
+    assert!(blessed.is_empty(), "{blessed:#?}");
+}
+
+#[test]
 fn ambient_fixture_flags_rng_and_env_reads() {
     let src = include_str!("fixtures/ambient_bad.rs");
     let diags = check("crates/partition/src/ambient_bad.rs", src);
@@ -228,6 +243,7 @@ fn every_bad_fixture_is_wired_to_expectations() {
         ("hashmap_iter_bad.rs", "crates/sim/src/f.rs", false, 3),
         ("no_panic_bad.rs", "crates/rpc/src/f.rs", false, 3),
         ("float_reduction_bad.rs", "crates/model/src/f.rs", false, 2),
+        ("quant_dequant_bad.rs", "crates/model/src/f.rs", false, 2),
         ("ambient_bad.rs", "crates/partition/src/f.rs", false, 2),
         (
             "unit_mixing_bytes_flops_bad.rs",

@@ -1,5 +1,6 @@
 //! Model and workload configurations from the paper (Tables I and II).
 
+use er_units::ElemKind;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one embedding table.
@@ -12,17 +13,29 @@ pub struct EmbeddingTableConfig {
     /// Average number of vectors gathered per input (the pooling factor,
     /// "number of embedding gathers" in Table II).
     pub pooling: u32,
+    /// Storage precision of the table's elements (f32 in the paper's
+    /// workloads; quantized kinds shrink `bytes`/`vector_bytes` and flow
+    /// into the partitioner's cost model, making quantization a placement
+    /// decision).
+    pub elem: ElemKind,
 }
 
 impl EmbeddingTableConfig {
-    /// Bytes needed to store this table at `f32` precision.
+    /// Bytes needed to store this table at its element precision,
+    /// including per-row i8 scales — `rows x` [`ElemKind::row_bytes`].
     pub fn bytes(&self) -> u64 {
-        self.rows * self.dim as u64 * 4
+        self.rows * self.elem.row_bytes(self.dim).whole()
     }
 
-    /// Bytes of one embedding vector.
+    /// Stored bytes of one embedding vector (with its i8 scale, if any).
     pub fn vector_bytes(&self) -> u64 {
-        self.dim as u64 * 4
+        self.elem.row_bytes(self.dim).whole()
+    }
+
+    /// This table stored at a different element precision.
+    pub fn with_elem(mut self, elem: ElemKind) -> Self {
+        self.elem = elem;
+        self
     }
 }
 
@@ -100,6 +113,15 @@ impl ModelConfig {
     /// "Locality").
     pub fn with_locality(mut self, p: f64) -> Self {
         self.locality_p = p;
+        self
+    }
+
+    /// Returns a copy with every embedding table stored at `elem`
+    /// precision — the model-level quantization knob the planner prices.
+    pub fn with_elem_kind(mut self, elem: ElemKind) -> Self {
+        for t in &mut self.tables {
+            t.elem = elem;
+        }
         self
     }
 }
@@ -192,6 +214,7 @@ fn rm(name: &str, bottom: &[usize], top: &[usize], num_tables: usize, pooling: u
                 rows: RM_TABLE_ROWS,
                 dim: 32,
                 pooling,
+                elem: ElemKind::F32,
             };
             num_tables
         ],
@@ -258,6 +281,21 @@ mod tests {
         // RM1: 10 tables x 20M x 32 dims x 4 bytes = 25.6 GB.
         assert_eq!(rm1().embedding_bytes(), 10 * 20_000_000 * 32 * 4);
         assert_eq!(rm1().tables[0].vector_bytes(), 128);
+    }
+
+    #[test]
+    fn elem_kind_shrinks_config_bytes() {
+        let t = rm1().tables[0];
+        assert_eq!(t.elem, ElemKind::F32);
+        assert_eq!(t.with_elem(ElemKind::F16).vector_bytes(), 64);
+        // i8: 32 code bytes + one 4-byte scale per row.
+        assert_eq!(t.with_elem(ElemKind::I8).vector_bytes(), 36);
+        assert_eq!(t.with_elem(ElemKind::I8).bytes(), RM_TABLE_ROWS * (32 + 4));
+        let m = rm1().with_elem_kind(ElemKind::I8);
+        assert!(m.tables.iter().all(|t| t.elem == ElemKind::I8));
+        // 0.1 + 0.9 dense/sparse ratio unchanged: quantization only moves
+        // the sparse byte count, never the architecture.
+        assert_eq!(m.tables.len(), 10);
     }
 
     #[test]

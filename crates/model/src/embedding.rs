@@ -1,12 +1,33 @@
 //! Embedding tables with gather and pooling — DLRM's sparse layer.
 
-use er_tensor::Matrix;
+use er_tensor::quant::{dequantize_f16, dequantize_i8_rows, f16_to_f32};
+use er_tensor::{quantize_f16, quantize_i8_rows, Aligned, Matrix};
+use er_units::{Bytes, ElemKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::TableLookup;
 
-/// A materialized embedding table: `rows` vectors of `dim` `f32` elements.
+/// The element storage behind one table: f32 reference, f16 halfs, or
+/// per-row-scaled i8 codes. Private — every access goes through the
+/// kind-dispatched methods so the f32 path stays byte-for-byte the code it
+/// always was. Element buffers are cache-line-[`Aligned`] so a dim-64 i8
+/// row is exactly one line and a dim-64 f32 row exactly four — random
+/// gathers pay the row's byte size in line traffic, never a straddling
+/// surcharge (the values, and hence all digests, are unchanged).
+#[derive(Debug, Clone, PartialEq)]
+enum TableStorage {
+    F32(Aligned<f32>),
+    F16(Aligned<u16>),
+    I8 {
+        codes: Aligned<i8>,
+        scales: Vec<f32>,
+    },
+}
+
+/// A materialized embedding table: `rows` vectors of `dim` elements stored
+/// at an [`ElemKind`] precision (f32 unless [`EmbeddingTable::quantized`]
+/// was used; accumulation is always f32).
 ///
 /// This is the functional implementation used for correctness (the
 /// monolithic-vs-sharded equivalence tests) and small-scale serving; at the
@@ -27,11 +48,11 @@ use crate::TableLookup;
 pub struct EmbeddingTable {
     rows: u32,
     dim: u32,
-    data: Vec<f32>,
+    storage: TableStorage,
 }
 
 impl EmbeddingTable {
-    /// Creates a table with small random values from a seed.
+    /// Creates an f32 table with small random values from a seed.
     ///
     /// # Panics
     ///
@@ -42,10 +63,14 @@ impl EmbeddingTable {
         let data = (0..rows as usize * dim as usize)
             .map(|_| rng.gen_range(-0.1..0.1))
             .collect();
-        Self { rows, dim, data }
+        Self {
+            rows,
+            dim,
+            storage: TableStorage::F32(Aligned::from_vec(data)),
+        }
     }
 
-    /// Creates a table from explicit per-row vectors.
+    /// Creates an f32 table from explicit per-row vectors.
     ///
     /// # Panics
     ///
@@ -62,7 +87,7 @@ impl EmbeddingTable {
         Self {
             rows: rows.len() as u32,
             dim: dim as u32,
-            data,
+            storage: TableStorage::F32(Aligned::from_vec(data)),
         }
     }
 
@@ -76,40 +101,137 @@ impl EmbeddingTable {
         self.dim
     }
 
-    /// Storage footprint in bytes.
-    pub fn bytes(&self) -> u64 {
-        self.data.len() as u64 * 4
+    /// The storage precision of this table.
+    pub fn elem_kind(&self) -> ElemKind {
+        match &self.storage {
+            TableStorage::F32(_) => ElemKind::F32,
+            TableStorage::F16(_) => ElemKind::F16,
+            TableStorage::I8 { .. } => ElemKind::I8,
+        }
     }
 
-    /// The vector at row `id`.
+    /// Storage footprint, including the per-row f32 scales an i8 table
+    /// carries — `rows x` [`ElemKind::row_bytes`], never a hardcoded
+    /// element width.
+    pub fn bytes(&self) -> Bytes {
+        self.elem_kind().row_bytes(self.dim) * self.rows as f64
+    }
+
+    /// Returns this table re-stored at `kind` precision. Quantization is
+    /// per-element for f16 and per-row symmetric (`scale = max_abs / 127`)
+    /// for i8; `ElemKind::F32` returns a clone. See
+    /// [`er_tensor::quant`] for the exact error bounds.
     ///
     /// # Panics
     ///
-    /// Panics if `id >= rows()`.
+    /// Panics if this table is not f32 — requantizing already-lossy storage
+    /// would silently compound error.
+    pub fn quantized(&self, kind: ElemKind) -> EmbeddingTable {
+        let TableStorage::F32(data) = &self.storage else {
+            // lint::allow(no_panic): documented panic surface of quantized(): requantizing lossy storage would compound error
+            panic!(
+                "quantized() requires f32 source storage, this table is {}",
+                self.elem_kind()
+            );
+        };
+        let storage = match kind {
+            ElemKind::F32 => TableStorage::F32(data.clone()),
+            ElemKind::F16 => TableStorage::F16(Aligned::from_vec(quantize_f16(data))),
+            ElemKind::I8 => {
+                let (codes, scales) = quantize_i8_rows(data, self.dim as usize);
+                TableStorage::I8 {
+                    codes: Aligned::from_vec(codes),
+                    scales,
+                }
+            }
+        };
+        EmbeddingTable {
+            rows: self.rows,
+            dim: self.dim,
+            storage,
+        }
+    }
+
+    /// Returns an f32 table holding this table's dequantized values — what
+    /// the quantized gather kernels accumulate, materialized (test oracle
+    /// and accuracy-report helper).
+    pub fn dequantized(&self) -> EmbeddingTable {
+        let data = match &self.storage {
+            TableStorage::F32(_) => return self.clone(),
+            TableStorage::F16(data) => dequantize_f16(data),
+            TableStorage::I8 { codes, scales } => {
+                dequantize_i8_rows(codes, scales, self.dim as usize)
+            }
+        };
+        EmbeddingTable {
+            rows: self.rows,
+            dim: self.dim,
+            storage: TableStorage::F32(Aligned::from_vec(data)),
+        }
+    }
+
+    /// The vector at row `id` (f32 storage only; quantized tables have no
+    /// f32 slice to borrow — use [`EmbeddingTable::dequantized`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= rows()` or the table is quantized.
     pub fn vector(&self, id: u32) -> &[f32] {
         assert!(
             id < self.rows,
             "embedding id {id} out of range ({})",
             self.rows
         );
+        let TableStorage::F32(data) = &self.storage else {
+            // lint::allow(no_panic): documented panic surface of vector(): quantized rows have no exact f32 vector
+            panic!(
+                "vector() requires f32 storage, this table is {}",
+                self.elem_kind()
+            );
+        };
         let d = self.dim as usize;
-        &self.data[id as usize * d..(id as usize + 1) * d]
+        &data[id as usize * d..(id as usize + 1) * d]
     }
 
     /// Gathers and sum-pools the vectors requested by `lookup`, producing one
-    /// pooled vector per input (the `EmbeddingBag` operation).
+    /// pooled vector per input (the `EmbeddingBag` operation). For quantized
+    /// tables each element is dequantized and accumulated in f32, in exactly
+    /// the same order as the fused kernels — this stays the test oracle for
+    /// every [`ElemKind`].
     ///
     /// # Panics
     ///
     /// Panics if any index is out of range.
     pub fn gather_pool(&self, lookup: &TableLookup) -> Matrix {
         let n_inputs = lookup.num_inputs();
-        let mut out = Matrix::zeros(n_inputs, self.dim as usize);
+        let d = self.dim as usize;
+        let mut out = Matrix::zeros(n_inputs, d);
         for input in 0..n_inputs {
             let row = out.row_mut(input);
             for &id in lookup.indices_for(input) {
-                for (o, &v) in row.iter_mut().zip(self.vector(id)) {
-                    *o += v;
+                assert!(
+                    id < self.rows,
+                    "embedding id {id} out of range ({})",
+                    self.rows
+                );
+                let base = id as usize * d;
+                match &self.storage {
+                    TableStorage::F32(data) => {
+                        for (o, &v) in row.iter_mut().zip(&data[base..base + d]) {
+                            *o += v;
+                        }
+                    }
+                    TableStorage::F16(data) => {
+                        for (o, &h) in row.iter_mut().zip(&data[base..base + d]) {
+                            *o += f16_to_f32(h);
+                        }
+                    }
+                    TableStorage::I8 { codes, scales } => {
+                        let scale = scales[id as usize];
+                        for (o, &q) in row.iter_mut().zip(&codes[base..base + d]) {
+                            *o += scale * q as f32;
+                        }
+                    }
                 }
             }
         }
@@ -118,25 +240,20 @@ impl EmbeddingTable {
 
     /// Fused gather+pool: the same `EmbeddingBag` operation as
     /// [`EmbeddingTable::gather_pool`], pooled directly out of the table's
-    /// flat storage by [`er_tensor::gather_pool_csr`] (which dispatches to
-    /// an AVX2-compiled clone of the same Rust code on x86-64 CPUs that
-    /// support it — no intrinsics, no FP reordering). Per output element
-    /// the additions happen in exactly the reference order (lookup order,
-    /// ascending dim), so results are **bit-identical** — `gather_pool`
-    /// stays as the test oracle.
+    /// flat storage by the `er_tensor` CSR kernels (which dispatch down the
+    /// AVX-512 → AVX2 → scalar ladder, recompiling the same Rust code — no
+    /// intrinsics, no FP reordering). Per output element the additions
+    /// happen in exactly the reference order (lookup order, ascending dim),
+    /// so results are **bit-identical** to `gather_pool` at every
+    /// [`ElemKind`] — f32 tables additionally stay bit-identical to the
+    /// historical f32-only implementation.
     ///
     /// # Panics
     ///
     /// Panics if any index is out of range.
     pub fn gather_pool_fused(&self, lookup: &TableLookup) -> Matrix {
         let mut out = Matrix::zeros(lookup.num_inputs(), self.dim as usize);
-        er_tensor::gather_pool_csr(
-            &self.data,
-            self.rows,
-            lookup.indices(),
-            lookup.offsets(),
-            &mut out,
-        );
+        self.gather_dispatch(lookup.indices(), lookup.offsets(), &mut out);
         out
     }
 
@@ -154,11 +271,92 @@ impl EmbeddingTable {
     /// descending, or any index is out of range.
     pub fn gather_pool_into(&self, indices: &[u32], offsets: &[u32], out: &mut Matrix) {
         out.reshape_zeroed(offsets.len(), self.dim as usize);
-        er_tensor::gather_pool_csr(&self.data, self.rows, indices, offsets, out);
+        self.gather_dispatch(indices, offsets, out);
+    }
+
+    /// One kind-dispatch point for every fused gather path.
+    fn gather_dispatch(&self, indices: &[u32], offsets: &[u32], out: &mut Matrix) {
+        match &self.storage {
+            TableStorage::F32(data) => {
+                er_tensor::gather_pool_csr(data, self.rows, indices, offsets, out);
+            }
+            TableStorage::F16(data) => {
+                er_tensor::gather_pool_csr_f16(data, self.rows, indices, offsets, out);
+            }
+            TableStorage::I8 { codes, scales } => {
+                er_tensor::gather_pool_csr_i8(codes, scales, self.rows, indices, offsets, out);
+            }
+        }
+    }
+
+    /// Per-element absolute error bound of gathering at `kind` precision
+    /// instead of f32, for the CSR lookup: the sum over each input's
+    /// gathered rows of the analytic per-element quantization bound
+    /// (`0.5001·scale` for i8, `2⁻¹¹·|v| + 2⁻²⁴` for f16; see
+    /// [`er_tensor::quant`]), plus a small accumulation-rounding slack.
+    /// Zero everywhere for `ElemKind::F32`. The proptests and the
+    /// `--quant-parity` CI stage assert observed error ≤ this bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this table is not f32 (bounds are derived from the exact
+    /// values), or if any index is out of range.
+    pub fn quant_error_bound(&self, kind: ElemKind, indices: &[u32], offsets: &[u32]) -> Matrix {
+        let TableStorage::F32(data) = &self.storage else {
+            // lint::allow(no_panic): documented panic surface of quant_error_bound(): bounds derive from exact f32 values
+            panic!("quant_error_bound() requires the f32 source table");
+        };
+        let d = self.dim as usize;
+        let mut bound = Matrix::zeros(offsets.len(), d);
+        let mut abs_sum = vec![0.0f32; d];
+        for input in 0..offsets.len() {
+            let start = offsets[input] as usize;
+            let end = offsets
+                .get(input + 1)
+                .map_or(indices.len(), |&o| o as usize);
+            let row = bound.row_mut(input);
+            abs_sum.iter_mut().for_each(|a| *a = 0.0);
+            let pooled = (end - start) as f32;
+            for &id in &indices[start..end] {
+                assert!(
+                    id < self.rows,
+                    "embedding id {id} out of range ({})",
+                    self.rows
+                );
+                let vec = &data[id as usize * d..(id as usize + 1) * d];
+                match kind {
+                    ElemKind::F32 => {}
+                    ElemKind::F16 => {
+                        for ((b, a), &v) in row.iter_mut().zip(&mut abs_sum).zip(vec) {
+                            *b += 2.0f32.powi(-11) * v.abs() + 2.0f32.powi(-24);
+                            *a += v.abs();
+                        }
+                    }
+                    ElemKind::I8 => {
+                        let max_abs = vec.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                        let scale = max_abs / 127.0;
+                        for ((b, a), &v) in row.iter_mut().zip(&mut abs_sum).zip(vec) {
+                            *b += 0.5001 * scale;
+                            *a += v.abs();
+                        }
+                    }
+                }
+            }
+            if kind != ElemKind::F32 {
+                // Accumulation slack: both sides sum `pooled` slightly
+                // different f32 terms; each partial-sum rounding is within
+                // eps of the running magnitude.
+                for (b, a) in row.iter_mut().zip(&abs_sum) {
+                    *b += 2.0 * pooled * f32::EPSILON * *a + 1e-7;
+                }
+            }
+        }
+        bound
     }
 
     /// Extracts the sub-table covering rows `[start, end)` — how a
-    /// partitioned embedding shard's storage is built.
+    /// partitioned embedding shard's storage is built. Works at every
+    /// [`ElemKind`] (an i8 shard keeps its rows' scales).
     ///
     /// # Panics
     ///
@@ -169,30 +367,67 @@ impl EmbeddingTable {
             "invalid slice [{start}, {end})"
         );
         let d = self.dim as usize;
+        let (s, e) = (start as usize * d, end as usize * d);
+        let storage = match &self.storage {
+            TableStorage::F32(data) => TableStorage::F32(Aligned::from_slice(&data[s..e])),
+            TableStorage::F16(data) => TableStorage::F16(Aligned::from_slice(&data[s..e])),
+            TableStorage::I8 { codes, scales } => TableStorage::I8 {
+                codes: Aligned::from_slice(&codes[s..e]),
+                scales: scales[start as usize..end as usize].to_vec(),
+            },
+        };
         EmbeddingTable {
             rows: end - start,
             dim: self.dim,
-            data: self.data[start as usize * d..end as usize * d].to_vec(),
+            storage,
         }
     }
 
     /// Reorders rows by a permutation (`out[pos] = self[perm_to_original(pos)]`)
-    /// — the physical layout change of the Figure 8 hotness sort.
+    /// — the physical layout change of the Figure 8 hotness sort. Works at
+    /// every [`ElemKind`] (an i8 row's scale travels with it).
     ///
     /// # Panics
     ///
     /// Panics if the permutation length differs from the table's row count.
     pub fn permuted(&self, to_original: impl Fn(u32) -> u32, len: u32) -> EmbeddingTable {
         assert_eq!(len, self.rows, "permutation length must match table rows");
-        let mut data = Vec::with_capacity(self.data.len());
-        for pos in 0..self.rows {
-            let orig = to_original(pos);
-            data.extend_from_slice(self.vector(orig));
-        }
+        let d = self.dim as usize;
+        let storage = match &self.storage {
+            TableStorage::F32(data) => {
+                let mut out = Vec::with_capacity(data.len());
+                for pos in 0..self.rows {
+                    let base = to_original(pos) as usize * d;
+                    out.extend_from_slice(&data[base..base + d]);
+                }
+                TableStorage::F32(Aligned::from_vec(out))
+            }
+            TableStorage::F16(data) => {
+                let mut out = Vec::with_capacity(data.len());
+                for pos in 0..self.rows {
+                    let base = to_original(pos) as usize * d;
+                    out.extend_from_slice(&data[base..base + d]);
+                }
+                TableStorage::F16(Aligned::from_vec(out))
+            }
+            TableStorage::I8 { codes, scales } => {
+                let mut out = Vec::with_capacity(codes.len());
+                let mut out_scales = Vec::with_capacity(scales.len());
+                for pos in 0..self.rows {
+                    let orig = to_original(pos) as usize;
+                    out.extend_from_slice(&codes[orig * d..(orig + 1) * d]);
+                    out_scales.push(scales[orig]);
+                }
+                TableStorage::I8 {
+                    codes: Aligned::from_vec(out),
+                    scales: out_scales,
+                }
+            }
+        };
         EmbeddingTable {
             rows: self.rows,
             dim: self.dim,
-            data,
+            storage,
         }
     }
 }
@@ -270,8 +505,24 @@ mod tests {
         let t = tiny();
         assert_eq!(t.rows(), 4);
         assert_eq!(t.dim(), 2);
-        assert_eq!(t.bytes(), 4 * 2 * 4);
+        assert_eq!(t.elem_kind(), ElemKind::F32);
+        assert_eq!(t.bytes(), Bytes::of_u64(4 * 2 * 4));
         assert_eq!(t.vector(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn bytes_track_elem_kind() {
+        let t = EmbeddingTable::with_seed(10, 8, 3);
+        assert_eq!(t.bytes(), Bytes::of_u64(10 * 8 * 4));
+        assert_eq!(
+            t.quantized(ElemKind::F16).bytes(),
+            Bytes::of_u64(10 * 8 * 2)
+        );
+        // i8 rows carry one f32 scale each.
+        assert_eq!(
+            t.quantized(ElemKind::I8).bytes(),
+            Bytes::of_u64(10 * (8 + 4))
+        );
     }
 
     #[test]
@@ -354,6 +605,82 @@ mod tests {
                 "dim {dim}"
             );
         }
+    }
+
+    #[test]
+    fn fused_gather_is_bit_identical_to_reference_when_quantized() {
+        for kind in [ElemKind::F16, ElemKind::I8] {
+            for dim in [1u32, 3, 8, 11] {
+                let t = EmbeddingTable::with_seed(50, dim, 21).quantized(kind);
+                let lookup =
+                    TableLookup::new(vec![0, 49, 7, 7, 23, 12, 3, 44, 44, 44], vec![0, 2, 2, 6])
+                        .unwrap();
+                assert_eq!(
+                    t.gather_pool(&lookup),
+                    t.gather_pool_fused(&lookup),
+                    "{kind} dim {dim}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_gather_stays_within_analytic_bound() {
+        let lookup =
+            TableLookup::new(vec![0, 49, 7, 7, 23, 12, 3, 44, 44, 44], vec![0, 2, 2, 6]).unwrap();
+        for kind in [ElemKind::F16, ElemKind::I8] {
+            let t = EmbeddingTable::with_seed(50, 16, 77);
+            let reference = t.gather_pool(&lookup);
+            let got = t.quantized(kind).gather_pool_fused(&lookup);
+            let bound = t.quant_error_bound(kind, lookup.indices(), lookup.offsets());
+            for input in 0..reference.rows() {
+                for j in 0..reference.cols() {
+                    let err = (got.row(input)[j] - reference.row(input)[j]).abs();
+                    assert!(
+                        err <= bound.row(input)[j],
+                        "{kind}: input {input} col {j}: err {err} > bound {}",
+                        bound.row(input)[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dequantized_matches_what_kernels_accumulate() {
+        let t = EmbeddingTable::with_seed(20, 6, 5);
+        for kind in [ElemKind::F32, ElemKind::F16, ElemKind::I8] {
+            let q = t.quantized(kind);
+            let deq = q.dequantized();
+            assert_eq!(deq.elem_kind(), ElemKind::F32);
+            let lookup = TableLookup::new(vec![0, 19, 4, 4], vec![0, 2]).unwrap();
+            assert_eq!(q.gather_pool(&lookup), deq.gather_pool(&lookup), "{kind}");
+        }
+    }
+
+    #[test]
+    fn quantized_slice_and_permute_carry_scales() {
+        let t = EmbeddingTable::with_seed(12, 4, 9).quantized(ElemKind::I8);
+        let lookup = TableLookup::new(vec![0, 3], vec![0, 1]).unwrap();
+        // Slicing rows [2, 8) then gathering {0, 3} == gathering {2, 5}.
+        let s = t.slice(2, 8);
+        let whole = TableLookup::new(vec![2, 5], vec![0, 1]).unwrap();
+        assert_eq!(s.gather_pool_fused(&lookup), t.gather_pool_fused(&whole));
+        // Reversing twice is the identity, scales included.
+        let back = t.permuted(|p| 11 - p, 12).permuted(|p| 11 - p, 12);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires f32 storage")]
+    fn vector_on_quantized_table_panics() {
+        tiny().quantized(ElemKind::I8).vector(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires f32 source storage")]
+    fn requantizing_panics() {
+        let _ = tiny().quantized(ElemKind::F16).quantized(ElemKind::I8);
     }
 
     #[test]

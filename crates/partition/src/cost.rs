@@ -1,7 +1,7 @@
 //! Deployment-cost estimation — Algorithm 1 of the paper.
 
 use er_distribution::AccessModel;
-use er_units::{Bytes, Qps};
+use er_units::{Bytes, ElemKind, Qps};
 
 use crate::QpsModel;
 
@@ -45,8 +45,11 @@ pub struct CostModel<'a, A: AccessModel, Q: QpsModel> {
     qps: &'a Q,
     /// Average vectors gathered from the whole table per query (`n_t`).
     n_t: f64,
-    /// Size of one embedding vector.
+    /// Size of one embedding vector at the precision the caller priced
+    /// (re-priced by `elem` when [`CostModel::with_elem_kind`] is used).
     vector_bytes: Bytes,
+    /// Storage precision `capacity`/`cost` are denominated at.
+    elem: ElemKind,
     /// Fixed memory floor per container replica (code, buffers).
     min_mem_alloc: Bytes,
     target_traffic: Qps,
@@ -75,9 +78,32 @@ impl<'a, A: AccessModel, Q: QpsModel> CostModel<'a, A, Q> {
             qps,
             n_t,
             vector_bytes,
+            elem: ElemKind::F32,
             min_mem_alloc,
             target_traffic: DEFAULT_TARGET_TRAFFIC,
         }
+    }
+
+    /// Re-prices storage at a quantized element kind: the constructor's
+    /// `vector_bytes` is interpreted as the f32-precision row size and
+    /// every `capacity`/`cost` estimate shrinks to
+    /// [`ElemKind::scaled_row_bytes`] (i8 rows keep their 4-byte scale).
+    /// This is how the DP partitioner trades accuracy headroom for memory:
+    /// a quantized table packs more rows per `min_mem_alloc` floor, so the
+    /// optimal cut sequence genuinely changes.
+    pub fn with_elem_kind(mut self, elem: ElemKind) -> Self {
+        self.elem = elem;
+        self
+    }
+
+    /// The storage precision costs are denominated at.
+    pub fn elem_kind(&self) -> ElemKind {
+        self.elem
+    }
+
+    /// Stored bytes of one vector at the model's element kind.
+    pub fn row_bytes(&self) -> Bytes {
+        self.elem.scaled_row_bytes(self.vector_bytes)
     }
 
     /// Overrides the target-traffic constant.
@@ -107,10 +133,11 @@ impl<'a, A: AccessModel, Q: QpsModel> CostModel<'a, A, Q> {
         (self.target_traffic / qps).max(1.0)
     }
 
-    /// Shard storage: `(j − k) × vector_bytes` (Algorithm 1 line 18, with
-    /// `(k, j]` covering `j − k` vectors).
+    /// Shard storage: `(j − k) × row_bytes` (Algorithm 1 line 18, with
+    /// `(k, j]` covering `j − k` vectors stored at the model's element
+    /// kind).
     pub fn capacity(&self, k: u64, j: u64) -> Bytes {
-        self.vector_bytes * (j - k) as f64
+        self.row_bytes() * (j - k) as f64
     }
 
     /// Estimated memory consumption of deploying the shard.
@@ -233,6 +260,56 @@ mod tests {
         let big = model(&a, &q, 1 << 30);
         assert!(big.cost(0, 1000) > small.cost(0, 1000));
         assert_eq!(big.min_mem_alloc(), Bytes::of_u64(1 << 30));
+    }
+
+    #[test]
+    fn elem_kind_shrinks_capacity_and_cost() {
+        let a = access();
+        let q = qps();
+        let f32_model = model(&a, &q, 1 << 20);
+        let f16_model = model(&a, &q, 1 << 20).with_elem_kind(ElemKind::F16);
+        let i8_model = model(&a, &q, 1 << 20).with_elem_kind(ElemKind::I8);
+        assert_eq!(f32_model.elem_kind(), ElemKind::F32);
+        assert_eq!(i8_model.elem_kind(), ElemKind::I8);
+        // Row of dim 32 at f32 = 128 B; f16 = 64 B; i8 = 32 + 4 B.
+        assert_eq!(f32_model.row_bytes(), Bytes::of_u64(128));
+        assert_eq!(f16_model.row_bytes(), Bytes::of_u64(64));
+        assert_eq!(i8_model.row_bytes(), Bytes::of_u64(36));
+        assert_eq!(i8_model.capacity(0, 1000), Bytes::of_u64(36_000));
+        assert!(i8_model.cost(0, N) < f16_model.cost(0, N));
+        assert!(f16_model.cost(0, N) < f32_model.cost(0, N));
+    }
+
+    /// The acceptance-criterion test: because `cost` reflects elem width,
+    /// the DP partitioner genuinely cuts an i8 table differently from an
+    /// f32 table — quantization is a placement decision, not a display
+    /// knob.
+    #[test]
+    fn partitioner_produces_different_plans_for_i8_vs_f32() {
+        let a = access();
+        let q = qps();
+        // A meaningful per-replica floor: the storage-vs-floor trade-off is
+        // what moves the optimal cut sequence when rows get 4x cheaper.
+        let f32_model = model(&a, &q, 64 << 20).with_target_traffic(Qps::of(20_000.0));
+        let i8_model = model(&a, &q, 64 << 20)
+            .with_target_traffic(Qps::of(20_000.0))
+            .with_elem_kind(ElemKind::I8);
+        let f32_plan = crate::partition_bucketed(N, 8, 64, |k, j| f32_model.cost(k, j).raw());
+        let i8_plan = crate::partition_bucketed(N, 8, 64, |k, j| i8_model.cost(k, j).raw());
+        assert_ne!(
+            f32_plan.cuts(),
+            i8_plan.cuts(),
+            "elem width must change the optimal partition"
+        );
+        // And the i8 deployment is strictly cheaper end to end.
+        let total = |m: &CostModel<'_, ZipfDistribution, AnalyticGatherModel>,
+                     p: &crate::PartitionPlan| {
+            p.shards()
+                .into_iter()
+                .map(|(k, j)| m.cost(k, j).raw())
+                .sum::<f64>()
+        };
+        assert!(total(&i8_model, &i8_plan) < total(&f32_model, &f32_plan));
     }
 
     #[test]

@@ -52,18 +52,39 @@ pub(crate) fn gather_pool_csr_body(
     out: &mut Matrix,
 ) {
     let d = out.cols();
+    let last = indices.len().saturating_sub(1);
+    let prefetch = std::mem::size_of_val(data) > crate::simd::PREFETCH_MIN_BYTES;
     for input in 0..offsets.len() {
         let start = offsets[input] as usize;
         let end = offsets
             .get(input + 1)
             .map_or(indices.len(), |&o| o as usize);
         let row = out.row_mut(input);
-        for &id in &indices[start..end] {
-            assert!(id < rows, "embedding id {id} out of range ({rows})");
-            let base = id as usize * d;
-            let vec = &data[base..base + d];
-            for (o, &v) in row.iter_mut().zip(vec) {
-                *o += v;
+        if prefetch {
+            // Past-cache table: hide the random-access row miss behind
+            // the current row's work; pure hint, bits unchanged (see
+            // `crate::simd`).
+            for (j, &id) in indices[start..end].iter().enumerate() {
+                assert!(id < rows, "embedding id {id} out of range ({rows})");
+                let ahead =
+                    indices[(start + j + crate::simd::PREFETCH_DISTANCE).min(last)] as usize;
+                crate::simd::prefetch_row(data, ahead * d, d);
+                let base = id as usize * d;
+                let vec = &data[base..base + d];
+                for (o, &v) in row.iter_mut().zip(vec) {
+                    *o += v;
+                }
+            }
+        } else {
+            // Cache-resident table: the historical tight loop, kept as
+            // a separate arm so its codegen stays hint-free.
+            for &id in &indices[start..end] {
+                assert!(id < rows, "embedding id {id} out of range ({rows})");
+                let base = id as usize * d;
+                let vec = &data[base..base + d];
+                for (o, &v) in row.iter_mut().zip(vec) {
+                    *o += v;
+                }
             }
         }
     }

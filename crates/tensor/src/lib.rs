@@ -22,17 +22,22 @@
 #![deny(missing_debug_implementations, unreachable_pub)]
 
 mod activation;
+pub mod aligned;
 mod error;
 mod gather;
 mod linear;
 mod matrix;
 mod mlp;
+pub mod quant;
 pub mod reduce;
-mod simd;
+pub mod simd;
 
 pub use activation::Activation;
+pub use aligned::Aligned;
 pub use error::ShapeError;
 pub use gather::gather_pool_csr;
 pub use linear::Linear;
 pub use matrix::Matrix;
 pub use mlp::Mlp;
+pub use quant::{gather_pool_csr_f16, gather_pool_csr_i8, quantize_f16, quantize_i8_rows};
+pub use simd::SimdBackend;

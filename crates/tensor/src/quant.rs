@@ -1,0 +1,469 @@
+//! Quantized embedding storage kernels: f16 and i8 gather + sum-pool.
+//!
+//! Embedding gathers are memory-bandwidth-bound (paper Fig 9), so halving
+//! or quartering the stored element width multiplies the rows a node can
+//! serve per second. This module holds the storage-side conversions and the
+//! dequantize-and-accumulate gather kernels:
+//!
+//! - **f16**: IEEE-754 half precision, round-to-nearest-even, converted at
+//!   the bit level (no external crate). Per element the quantization error
+//!   is ≤ `2^-11 · |v|` for normal halfs plus `2^-24` once subnormals are
+//!   in range.
+//! - **i8**: per-row symmetric quantization under an f32 scale
+//!   (`scale = max_abs / 127`, `q = round(v / scale)`), dequantized as
+//!   `scale * q`. Per element the error is ≤ `0.5001 · scale` (the `1e-4`
+//!   relative slack absorbs the f32 rounding of `scale * q`).
+//!
+//! Accumulation is always f32, in exactly the reference order (lookup
+//! order, ascending dim), so quantized kernels are bit-identical *across
+//! SIMD backends* (see [`crate::simd`]) even though they are only
+//! bounded-error-close to the f32 reference. The f32 kernels elsewhere in
+//! this crate are untouched and stay bit-identical to their baseline.
+//!
+//! The kernel bodies here are blessed by er-lint's `float_reduction` rule
+//! (see `er-lint.toml` `blessed_kernels`): dequantization loops anywhere
+//! else in serving code are a lint error.
+
+use crate::Matrix;
+
+/// Converts an f32 to IEEE-754 half precision (round-to-nearest-even).
+///
+/// Overflow saturates to ±inf; NaN maps to a quiet NaN. This is the
+/// storage-side (offline) conversion — clarity over speed.
+pub fn f16_from_f32(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Inf or NaN: keep the class, quiet the payload.
+        return sign | 0x7c00 | if man != 0 { 0x0200 } else { 0 };
+    }
+    let unbiased = exp - 127;
+    if unbiased >= 16 {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if unbiased >= -14 {
+        // Normal half: drop 13 mantissa bits with round-to-nearest-even.
+        let shift = 13u32;
+        let halfway = 1u32 << (shift - 1);
+        let mut h_man = man >> shift;
+        let rem = man & ((1 << shift) - 1);
+        if rem > halfway || (rem == halfway && (h_man & 1) == 1) {
+            h_man += 1;
+        }
+        // Mantissa carry bumps the exponent via plain addition; a bump out
+        // of the top normal bin is exactly rounding to infinity.
+        let h = (((unbiased + 15) as u32) << 10) + h_man;
+        return sign | (h.min(0x7c00) as u16);
+    }
+    if unbiased < -25 {
+        return sign; // below half the smallest subnormal -> ±0
+    }
+    // Subnormal half: shift the hidden-bit mantissa down to 2^-24 units.
+    let man_hidden = man | 0x0080_0000;
+    let shift = (13 + (-14 - unbiased)) as u32;
+    let halfway = 1u32 << (shift - 1);
+    let mut h_man = man_hidden >> shift;
+    let rem = man_hidden & ((1 << shift) - 1);
+    if rem > halfway || (rem == halfway && (h_man & 1) == 1) {
+        h_man += 1; // may round up into the normal range: still correct bits
+    }
+    sign | h_man as u16
+}
+
+/// Converts an IEEE-754 half back to f32. Exact for every finite half
+/// (subnormals included): the exponent re-bias is a multiply by 2^112,
+/// which is exact in f32.
+#[inline(always)]
+pub fn f16_to_f32(h: u16) -> f32 {
+    if (h & 0x7c00) == 0x7c00 {
+        // Inf/NaN (never stored by embedding quantization, but preserved).
+        let sign = ((h & 0x8000) as u32) << 16;
+        let man = ((h & 0x03ff) as u32) << 13;
+        return f32::from_bits(sign | 0x7f80_0000 | man);
+    }
+    // Place the half's exponent+mantissa in the f32 fields, then fix the
+    // bias gap (127 - 15 = 112) with one exact power-of-two multiply; f32
+    // subnormal renormalization makes this exact for half subnormals too.
+    let sign = ((h & 0x8000) as u32) << 16;
+    let expman = ((h & 0x7fff) as u32) << 13;
+    f32::from_bits(sign | expman) * f32::from_bits(0x7780_0000)
+}
+
+/// Quantizes a flat f32 buffer to f16 storage.
+pub fn quantize_f16(data: &[f32]) -> Vec<u16> {
+    data.iter().map(|&v| f16_from_f32(v)).collect()
+}
+
+/// Dequantizes f16 storage back to f32 (test/report helper).
+pub fn dequantize_f16(data: &[u16]) -> Vec<f32> {
+    data.iter().map(|&h| f16_to_f32(h)).collect()
+}
+
+/// Per-row symmetric i8 quantization of a `rows x dim` row-major buffer:
+/// for each row, `scale = max_abs / 127` and `q = round(v / scale)` (in
+/// f64, so the rounding analysis stays trivial). All-zero rows get scale 0
+/// and all-zero codes.
+///
+/// Returns `(codes, scales)` with `scales.len() == rows`.
+///
+/// # Panics
+///
+/// Panics if `dim` is zero or `data.len()` is not a multiple of `dim`.
+pub fn quantize_i8_rows(data: &[f32], dim: usize) -> (Vec<i8>, Vec<f32>) {
+    assert!(dim > 0, "dim must be non-zero");
+    assert_eq!(data.len() % dim, 0, "data must be rows x dim");
+    let rows = data.len() / dim;
+    let mut codes = Vec::with_capacity(data.len());
+    let mut scales = Vec::with_capacity(rows);
+    for row in data.chunks_exact(dim) {
+        let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = max_abs / 127.0;
+        scales.push(scale);
+        if scale == 0.0 {
+            codes.resize(codes.len() + dim, 0);
+            continue;
+        }
+        for &v in row {
+            let q = (v as f64 / scale as f64).round();
+            codes.push(q.clamp(-127.0, 127.0) as i8);
+        }
+    }
+    (codes, scales)
+}
+
+/// Dequantizes per-row i8 storage back to f32 (test/report helper):
+/// `v = scale[row] * q`.
+///
+/// # Panics
+///
+/// Panics if `codes.len() != scales.len() * dim` or `dim` is zero.
+pub fn dequantize_i8_rows(codes: &[i8], scales: &[f32], dim: usize) -> Vec<f32> {
+    assert!(dim > 0, "dim must be non-zero");
+    assert_eq!(codes.len(), scales.len() * dim, "codes must be rows x dim");
+    codes
+        .chunks_exact(dim)
+        .zip(scales)
+        .flat_map(|(row, &s)| row.iter().map(move |&q| s * q as f32))
+        .collect()
+}
+
+/// CSR gather + sum-pool over f16 storage, dequantizing each element and
+/// accumulating in f32 — the half-width sibling of
+/// [`crate::gather_pool_csr`], SIMD-dispatched (see [`crate::simd`]).
+/// Per output element the additions happen in lookup order, ascending dim,
+/// so results are bit-identical across backends.
+///
+/// # Panics
+///
+/// Panics if `out.rows() != offsets.len()`, if `data` is not
+/// `rows * out.cols()` long, or if any index is `>= rows`.
+pub fn gather_pool_csr_f16(
+    data: &[u16],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    assert_eq!(
+        out.rows(),
+        offsets.len(),
+        "output must have one row per lookup input"
+    );
+    assert_eq!(
+        data.len(),
+        rows as usize * out.cols(),
+        "table storage must be rows x dim"
+    );
+    crate::simd::gather_pool_csr_f16_auto(data, rows, indices, offsets, out);
+}
+
+/// CSR gather + sum-pool over per-row i8 storage, dequantizing as
+/// `scale[row] * q` and accumulating in f32 — the quarter-width sibling of
+/// [`crate::gather_pool_csr`], SIMD-dispatched (see [`crate::simd`]).
+/// Per output element the additions happen in lookup order, ascending dim,
+/// so results are bit-identical across backends.
+///
+/// # Panics
+///
+/// Panics if `out.rows() != offsets.len()`, if `data` is not
+/// `rows * out.cols()` long, if `scales.len() != rows`, or if any index is
+/// `>= rows`.
+pub fn gather_pool_csr_i8(
+    data: &[i8],
+    scales: &[f32],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    assert_eq!(
+        out.rows(),
+        offsets.len(),
+        "output must have one row per lookup input"
+    );
+    assert_eq!(
+        data.len(),
+        rows as usize * out.cols(),
+        "table storage must be rows x dim"
+    );
+    assert_eq!(scales.len(), rows as usize, "one scale per table row");
+    crate::simd::gather_pool_csr_i8_auto(data, scales, rows, indices, offsets, out);
+}
+
+/// The portable f16 kernel body. [`crate::simd`] recompiles this exact
+/// code with AVX2/AVX-512 enabled, so it must stay free of
+/// architecture-conditional logic.
+#[inline(always)]
+pub(crate) fn gather_pool_csr_f16_body(
+    data: &[u16],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    let d = out.cols();
+    let last = indices.len().saturating_sub(1);
+    let prefetch = std::mem::size_of_val(data) > crate::simd::PREFETCH_MIN_BYTES;
+    for input in 0..offsets.len() {
+        let start = offsets[input] as usize;
+        let end = offsets
+            .get(input + 1)
+            .map_or(indices.len(), |&o| o as usize);
+        let row = out.row_mut(input);
+        if prefetch {
+            // Past-cache table: hide the random-access row miss behind
+            // the current row's work; pure hint, bits unchanged (see
+            // `crate::simd`).
+            for (j, &id) in indices[start..end].iter().enumerate() {
+                assert!(id < rows, "embedding id {id} out of range ({rows})");
+                let ahead =
+                    indices[(start + j + crate::simd::PREFETCH_DISTANCE).min(last)] as usize;
+                crate::simd::prefetch_row(data, ahead * d, d);
+                let base = id as usize * d;
+                let vec = &data[base..base + d];
+                for (o, &h) in row.iter_mut().zip(vec) {
+                    *o += f16_to_f32(h);
+                }
+            }
+        } else {
+            // Cache-resident table: tight loop, kept hint-free.
+            for &id in &indices[start..end] {
+                assert!(id < rows, "embedding id {id} out of range ({rows})");
+                let base = id as usize * d;
+                let vec = &data[base..base + d];
+                for (o, &h) in row.iter_mut().zip(vec) {
+                    *o += f16_to_f32(h);
+                }
+            }
+        }
+    }
+}
+
+/// The portable i8 kernel body. [`crate::simd`] recompiles this exact
+/// code with AVX2/AVX-512 enabled, so it must stay free of
+/// architecture-conditional logic.
+#[inline(always)]
+pub(crate) fn gather_pool_csr_i8_body(
+    data: &[i8],
+    scales: &[f32],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    let d = out.cols();
+    let last = indices.len().saturating_sub(1);
+    let prefetch = std::mem::size_of_val(data) > crate::simd::PREFETCH_MIN_BYTES;
+    for input in 0..offsets.len() {
+        let start = offsets[input] as usize;
+        let end = offsets
+            .get(input + 1)
+            .map_or(indices.len(), |&o| o as usize);
+        let row = out.row_mut(input);
+        if prefetch {
+            // Past-cache table: hide the random-access row and scale
+            // misses behind the current row's work; pure hint, bits
+            // unchanged (see `crate::simd`).
+            for (j, &id) in indices[start..end].iter().enumerate() {
+                assert!(id < rows, "embedding id {id} out of range ({rows})");
+                let ahead =
+                    indices[(start + j + crate::simd::PREFETCH_DISTANCE).min(last)] as usize;
+                crate::simd::prefetch_row(data, ahead * d, d);
+                crate::simd::prefetch_row(scales, ahead, 1);
+                let base = id as usize * d;
+                let scale = scales[id as usize];
+                let vec = &data[base..base + d];
+                for (o, &q) in row.iter_mut().zip(vec) {
+                    *o += scale * q as f32;
+                }
+            }
+        } else {
+            // Cache-resident table: tight loop, kept hint-free.
+            for &id in &indices[start..end] {
+                assert!(id < rows, "embedding id {id} out of range ({rows})");
+                let base = id as usize * d;
+                let scale = scales[id as usize];
+                let vec = &data[base..base + d];
+                for (o, &q) in row.iter_mut().zip(vec) {
+                    *o += scale * q as f32;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_round_trips_exactly_representable_values() {
+        for v in [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            65504.0,
+            -65504.0,
+            0.099975586,
+        ] {
+            let h = f16_from_f32(v);
+            assert_eq!(f16_to_f32(h), v, "{v}");
+        }
+        // Smallest half subnormal: 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f16_to_f32(f16_from_f32(tiny)), tiny);
+        // Largest half subnormal: 1023 * 2^-24.
+        let sub = 1023.0 * 2.0f32.powi(-24);
+        assert_eq!(f16_to_f32(f16_from_f32(sub)), sub);
+    }
+
+    #[test]
+    fn f16_rounds_to_nearest_even() {
+        // 1 + 2^-11 sits exactly between 1.0 and 1 + 2^-10: ties to even 1.0.
+        assert_eq!(f16_to_f32(f16_from_f32(1.0 + 2.0f32.powi(-11))), 1.0);
+        // 1 + 3·2^-11 ties between 1+2^-10 and 1+2^-9: even is 1+2^-9.
+        assert_eq!(
+            f16_to_f32(f16_from_f32(1.0 + 3.0 * 2.0f32.powi(-11))),
+            1.0 + 2.0f32.powi(-9)
+        );
+        // Just above halfway rounds up.
+        assert_eq!(
+            f16_to_f32(f16_from_f32(1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20))),
+            1.0 + 2.0f32.powi(-10)
+        );
+    }
+
+    #[test]
+    fn f16_saturates_and_underflows() {
+        assert_eq!(f16_from_f32(1.0e6), 0x7c00); // +inf
+        assert_eq!(f16_from_f32(-1.0e6), 0xfc00); // -inf
+        assert_eq!(f16_from_f32(f32::INFINITY), 0x7c00);
+        assert!(f16_to_f32(f16_from_f32(f32::NAN)).is_nan());
+        // Below half the smallest subnormal flushes to signed zero.
+        assert_eq!(f16_from_f32(2.0f32.powi(-26)), 0x0000);
+        assert_eq!(f16_from_f32(-2.0f32.powi(-26)), 0x8000);
+    }
+
+    #[test]
+    fn f16_error_is_within_half_ulp() {
+        // Deterministic sweep over the table value range (-0.1, 0.1).
+        for i in 0..4096 {
+            let v = (i as f32 / 4096.0 - 0.5) * 0.2;
+            let err = (f16_to_f32(f16_from_f32(v)) - v).abs();
+            let bound = 2.0f32.powi(-11) * v.abs() + 2.0f32.powi(-24);
+            assert!(err <= bound, "v={v} err={err} bound={bound}");
+        }
+    }
+
+    #[test]
+    fn i8_quantization_bounds_and_round_trip() {
+        let dim = 8;
+        let data: Vec<f32> = (0..64)
+            .map(|i| ((i * 37 % 64) as f32 - 32.0) / 320.0)
+            .collect();
+        let (codes, scales) = quantize_i8_rows(&data, dim);
+        assert_eq!(scales.len(), 8);
+        let deq = dequantize_i8_rows(&codes, &scales, dim);
+        for (r, row) in data.chunks_exact(dim).enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                let err = (deq[r * dim + j] - v).abs();
+                assert!(
+                    err <= 0.5001 * scales[r],
+                    "row {r} col {j}: err {err} vs scale {}",
+                    scales[r]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn i8_zero_rows_get_zero_scale() {
+        let (codes, scales) = quantize_i8_rows(&[0.0; 6], 3);
+        assert_eq!(scales, vec![0.0, 0.0]);
+        assert!(codes.iter().all(|&c| c == 0));
+        assert_eq!(dequantize_i8_rows(&codes, &scales, 3), vec![0.0; 6]);
+    }
+
+    #[test]
+    fn i8_max_magnitude_maps_to_127() {
+        let (codes, scales) = quantize_i8_rows(&[0.1, -0.1, 0.05, 0.0], 4);
+        assert_eq!(codes[0], 127);
+        assert_eq!(codes[1], -127);
+        assert!((scales[0] - 0.1 / 127.0).abs() < 1e-9);
+    }
+
+    fn quantized_fixture() -> (Vec<f32>, u32, usize) {
+        // 6 rows x 4 dims of varied magnitudes.
+        let data: Vec<f32> = (0..24)
+            .map(|i| ((i * 29 % 24) as f32 - 12.0) / 120.0)
+            .collect();
+        (data, 6, 4)
+    }
+
+    #[test]
+    fn f16_gather_matches_dequantized_reference() {
+        let (data, rows, dim) = quantized_fixture();
+        let stored = quantize_f16(&data);
+        let deq = dequantize_f16(&stored);
+        let indices = [0u32, 5, 2, 2, 4, 1];
+        let offsets = [0u32, 2, 2, 5];
+        let mut got = Matrix::zeros(4, dim);
+        gather_pool_csr_f16(&stored, rows, &indices, &offsets, &mut got);
+        let mut want = Matrix::zeros(4, dim);
+        crate::gather_pool_csr(&deq, rows, &indices, &offsets, &mut want);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn i8_gather_matches_dequantized_reference() {
+        let (data, rows, dim) = quantized_fixture();
+        let (codes, scales) = quantize_i8_rows(&data, dim);
+        let deq = dequantize_i8_rows(&codes, &scales, dim);
+        let indices = [3u32, 3, 0, 5, 1];
+        let offsets = [0u32, 1, 4];
+        let mut got = Matrix::zeros(3, dim);
+        gather_pool_csr_i8(&codes, &scales, rows, &indices, &offsets, &mut got);
+        let mut want = Matrix::zeros(3, dim);
+        crate::gather_pool_csr(&deq, rows, &indices, &offsets, &mut want);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn f16_gather_rejects_bad_ids() {
+        let mut out = Matrix::zeros(1, 2);
+        gather_pool_csr_f16(&[0u16; 8], 4, &[4], &[0], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "one scale per table row")]
+    fn i8_gather_rejects_missing_scales() {
+        let mut out = Matrix::zeros(1, 2);
+        gather_pool_csr_i8(&[0i8; 8], &[0.0; 3], 4, &[0], &[0], &mut out);
+    }
+}

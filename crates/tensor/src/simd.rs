@@ -1,34 +1,205 @@
-//! The workspace's only `unsafe` module: AVX2-recompiled kernel clones.
+//! The workspace's only `unsafe` module: SIMD-recompiled kernel clones.
 //!
 //! Every function here is an exact clone of a portable kernel body
-//! (`matmul_rows_body`, `gather_pool_csr_body`) compiled with
-//! `#[target_feature(enable = "avx2")]` — the same Rust source on wider
-//! registers, no intrinsics, so the FP op sequence (and therefore the
-//! bits) cannot diverge from the portable build. The `unsafe` is confined
-//! to (a) declaring the `target_feature` functions and (b) calling them
-//! after an explicit runtime `is_x86_feature_detected!("avx2")` check;
-//! nothing else in the workspace is allowed to use `unsafe` — every other
-//! crate root carries `#![forbid(unsafe_code)]`, and `er-tensor` itself
-//! denies it outside this module.
+//! (`matmul_rows_body`, `gather_pool_csr_body`, and the quantized bodies in
+//! [`crate::quant`]) compiled with `#[target_feature(...)]` for AVX2 or
+//! AVX-512 — the same Rust source on wider registers, no intrinsics, so the
+//! FP op sequence (and therefore the bits) cannot diverge between backends.
+//! Dispatch walks the ladder AVX-512 → AVX2 → scalar via explicit runtime
+//! CPUID checks (`is_x86_feature_detected!`), so a 1-core AVX2-only dev
+//! box and an AVX-512 server produce bit-identical results from different
+//! code paths; `ER_SIMD` pins dispatch to one rung for A/B runs (see
+//! [`SimdBackend::detect`]).
+//!
+//! [`SimdBackend`] names one rung of that ladder and the `*_with` entry
+//! points force a kernel onto a specific rung — that is how the
+//! dispatch-parity test pins scalar/AVX2/AVX-512 onto identical inputs and
+//! asserts identical bits. Forcing an unavailable rung panics; callers
+//! probe [`SimdBackend::is_available`] first (and log an explicit skip).
+//!
+//! The `unsafe` is confined to (a) declaring the `target_feature` functions
+//! and (b) calling them after the runtime feature check; nothing else in
+//! the workspace is allowed to use `unsafe` — every other crate root
+//! carries `#![forbid(unsafe_code)]`, and `er-tensor` itself denies it
+//! outside this module.
 #![allow(unsafe_code)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 use crate::Matrix;
 
-/// `out = a * b` through the 6x16 register-blocked micro-kernel,
-/// AVX2-dispatched. See `matmul_rows_body` in `matrix.rs` for the kernel
-/// and the bit-exactness argument.
-pub(crate) fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: AVX2 support was just verified at runtime.
-        unsafe { matmul_rows_avx2(a, b, out, k, n) };
-        return;
-    }
-    crate::matrix::matmul_rows_body(a, b, out, k, n);
+/// One rung of the SIMD dispatch ladder.
+///
+/// `Avx512` means the f/bw/vl trio (every AVX-512 server CPU since
+/// Skylake-SP ships all three); `Avx2` is the 256-bit baseline the
+/// workspace has always dispatched to; `Scalar` is the portable body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdBackend {
+    /// The portable kernel body, no `target_feature` recompilation.
+    Scalar,
+    /// The body recompiled for 256-bit vectors (`avx2`).
+    Avx2,
+    /// The body recompiled for 512-bit vectors (`avx512f,avx512bw,avx512vl`).
+    Avx512,
 }
 
-/// CSR gather + sum-pool, AVX2-dispatched. See
+impl SimdBackend {
+    /// Every rung, narrowest first — the order parity tests sweep.
+    pub const ALL: [SimdBackend; 3] = [SimdBackend::Scalar, SimdBackend::Avx2, SimdBackend::Avx512];
+
+    /// The widest rung this CPU supports (what auto-dispatch uses).
+    ///
+    /// `ER_SIMD=scalar|avx2|avx512` pins dispatch to one rung instead —
+    /// useful for A/B-ing rungs on one part (e.g. quantifying 512-bit
+    /// frequency licensing) without rebuilding. An unavailable or
+    /// unrecognized value falls back to detection; results are
+    /// bit-identical on every rung either way. The choice is latched
+    /// once per process.
+    #[allow(clippy::disallowed_methods)] // ER_SIMD pin below, latched once
+    pub fn detect() -> SimdBackend {
+        use std::sync::OnceLock;
+        static DETECTED: OnceLock<SimdBackend> = OnceLock::new();
+        *DETECTED.get_or_init(|| {
+            // lint::allow(env_io): deliberate process-wide dispatch pin,
+            // read once; every rung is bit-identical so determinism holds
+            if let Ok(v) = std::env::var("ER_SIMD") {
+                for b in SimdBackend::ALL {
+                    if v.eq_ignore_ascii_case(b.name()) && b.is_available() {
+                        return b;
+                    }
+                }
+            }
+            if SimdBackend::Avx512.is_available() {
+                SimdBackend::Avx512
+            } else if SimdBackend::Avx2.is_available() {
+                SimdBackend::Avx2
+            } else {
+                SimdBackend::Scalar
+            }
+        })
+    }
+
+    /// Whether this CPU can run the rung. `Scalar` is always available.
+    pub fn is_available(self) -> bool {
+        match self {
+            SimdBackend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdBackend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            SimdBackend::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512bw")
+                    && std::arch::is_x86_feature_detected!("avx512vl")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Short name for logs and bench labels.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SimdBackend::Scalar => "scalar",
+            SimdBackend::Avx2 => "avx2",
+            SimdBackend::Avx512 => "avx512",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How many lookups ahead the gather bodies prefetch. Random-access
+/// gathers otherwise serialize on one cache/TLB miss per pooled row; a
+/// handful of rows of lead time is enough to keep several misses in
+/// flight without exceeding the core's fill buffers.
+pub(crate) const PREFETCH_DISTANCE: usize = 16;
+
+/// Tables smaller than this skip prefetching entirely: they are
+/// cache-resident, so the hint cannot hide any latency and is pure
+/// per-lookup overhead (measured ~25-50% on the forward pass's sub-MiB
+/// tables). 4 MiB clears every L2 this workspace targets.
+pub(crate) const PREFETCH_MIN_BYTES: usize = 4 << 20;
+
+/// Issues a best-effort read prefetch for the cache line holding `p`.
+///
+/// Purely a hint: it never faults, never writes, and has no architectural
+/// effect, so kernels that call it stay bit-identical to kernels that
+/// don't. On non-x86-64 targets it compiles to nothing.
+#[inline(always)]
+fn prefetch_read<T>(p: &T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: PREFETCHT0 is a pure cache hint with no architectural
+    // effect; the reference guarantees the address is valid anyway.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch(std::ptr::from_ref(p).cast::<i8>(), _MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Prefetches every cache line of `data[base .. base + len]`, skipping
+/// (not faulting on) out-of-bounds positions — gather bodies call this for
+/// a row *ahead* of the one being validated, so the ahead index may still
+/// be bogus. Safe to call from the `#![forbid(unsafe_code)]` kernel
+/// bodies; the intrinsic stays confined to this module.
+#[inline(always)]
+pub(crate) fn prefetch_row<T>(data: &[T], base: usize, len: usize) {
+    let step = (64 / std::mem::size_of::<T>()).max(1);
+    let mut off = 0;
+    while off < len {
+        if let Some(p) = data.get(base + off) {
+            prefetch_read(p);
+        }
+        off += step;
+    }
+}
+
+#[track_caller]
+fn check_available(backend: SimdBackend) {
+    assert!(
+        backend.is_available(),
+        "SIMD backend {backend} is not available on this CPU"
+    );
+}
+
+/// `out = a * b` through the 6x16 register-blocked micro-kernel,
+/// auto-dispatched down the ladder. See `matmul_rows_body` in `matrix.rs`
+/// for the kernel and the bit-exactness argument.
+pub(crate) fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    matmul_rows_with(SimdBackend::detect(), a, b, out, k, n);
+}
+
+/// `out = a * b` on a forced backend (parity testing; see module docs).
+///
+/// # Panics
+///
+/// Panics if `backend` is unavailable on this CPU, or on the shape
+/// violations documented for [`crate::Matrix::matmul`].
+pub fn matmul_rows_with(
+    backend: SimdBackend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+) {
+    check_available(backend);
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability of the target features was just verified.
+        SimdBackend::Avx512 => unsafe { matmul_rows_avx512(a, b, out, k, n) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability of the target features was just verified.
+        SimdBackend::Avx2 => unsafe { matmul_rows_avx2(a, b, out, k, n) },
+        _ => crate::matrix::matmul_rows_body(a, b, out, k, n),
+    }
+}
+
+/// CSR gather + sum-pool, auto-dispatched. See
 /// [`crate::gather::gather_pool_csr_body`].
 pub(crate) fn gather_pool_csr(
     data: &[f32],
@@ -37,13 +208,125 @@ pub(crate) fn gather_pool_csr(
     offsets: &[u32],
     out: &mut Matrix,
 ) {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: AVX2 support was just verified at runtime.
-        unsafe { gather_pool_csr_avx2(data, rows, indices, offsets, out) };
-        return;
+    gather_pool_csr_with(SimdBackend::detect(), data, rows, indices, offsets, out);
+}
+
+/// CSR gather + sum-pool on a forced backend (parity testing).
+///
+/// # Panics
+///
+/// Panics if `backend` is unavailable on this CPU, or on the input
+/// violations documented for [`crate::gather_pool_csr`].
+pub fn gather_pool_csr_with(
+    backend: SimdBackend,
+    data: &[f32],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    check_available(backend);
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability of the target features was just verified.
+        SimdBackend::Avx512 => unsafe { gather_pool_csr_avx512(data, rows, indices, offsets, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability of the target features was just verified.
+        SimdBackend::Avx2 => unsafe { gather_pool_csr_avx2(data, rows, indices, offsets, out) },
+        _ => crate::gather::gather_pool_csr_body(data, rows, indices, offsets, out),
     }
-    crate::gather::gather_pool_csr_body(data, rows, indices, offsets, out);
+}
+
+/// f16 CSR gather + sum-pool, auto-dispatched. See
+/// [`crate::quant::gather_pool_csr_f16_body`].
+pub(crate) fn gather_pool_csr_f16_auto(
+    data: &[u16],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    gather_pool_csr_f16_with(SimdBackend::detect(), data, rows, indices, offsets, out);
+}
+
+/// f16 CSR gather + sum-pool on a forced backend (parity testing).
+///
+/// # Panics
+///
+/// Panics if `backend` is unavailable on this CPU, or on the input
+/// violations documented for [`crate::quant::gather_pool_csr_f16`].
+pub fn gather_pool_csr_f16_with(
+    backend: SimdBackend,
+    data: &[u16],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    check_available(backend);
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability of the target features was just verified.
+        SimdBackend::Avx512 => unsafe {
+            gather_pool_csr_f16_avx512(data, rows, indices, offsets, out)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability of the target features was just verified.
+        SimdBackend::Avx2 => unsafe { gather_pool_csr_f16_avx2(data, rows, indices, offsets, out) },
+        _ => crate::quant::gather_pool_csr_f16_body(data, rows, indices, offsets, out),
+    }
+}
+
+/// i8 CSR gather + sum-pool, auto-dispatched. See
+/// [`crate::quant::gather_pool_csr_i8_body`].
+pub(crate) fn gather_pool_csr_i8_auto(
+    data: &[i8],
+    scales: &[f32],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    gather_pool_csr_i8_with(
+        SimdBackend::detect(),
+        data,
+        scales,
+        rows,
+        indices,
+        offsets,
+        out,
+    );
+}
+
+/// i8 CSR gather + sum-pool on a forced backend (parity testing).
+///
+/// # Panics
+///
+/// Panics if `backend` is unavailable on this CPU, or on the input
+/// violations documented for [`crate::quant::gather_pool_csr_i8`].
+pub fn gather_pool_csr_i8_with(
+    backend: SimdBackend,
+    data: &[i8],
+    scales: &[f32],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    check_available(backend);
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability of the target features was just verified.
+        SimdBackend::Avx512 => unsafe {
+            gather_pool_csr_i8_avx512(data, scales, rows, indices, offsets, out)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability of the target features was just verified.
+        SimdBackend::Avx2 => unsafe {
+            gather_pool_csr_i8_avx2(data, scales, rows, indices, offsets, out)
+        },
+        _ => crate::quant::gather_pool_csr_i8_body(data, scales, rows, indices, offsets, out),
+    }
 }
 
 /// The matmul micro-kernel body recompiled with 256-bit vectors.
@@ -53,7 +336,14 @@ unsafe fn matmul_rows_avx2(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: u
     crate::matrix::matmul_rows_body(a, b, out, k, n);
 }
 
-/// The gather+pool body recompiled with 256-bit vectors.
+/// The matmul micro-kernel body recompiled with 512-bit vectors.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512vl")]
+unsafe fn matmul_rows_avx512(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    crate::matrix::matmul_rows_body(a, b, out, k, n);
+}
+
+/// The f32 gather+pool body recompiled with 256-bit vectors.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn gather_pool_csr_avx2(
@@ -64,4 +354,71 @@ unsafe fn gather_pool_csr_avx2(
     out: &mut Matrix,
 ) {
     crate::gather::gather_pool_csr_body(data, rows, indices, offsets, out);
+}
+
+/// The f32 gather+pool body recompiled with 512-bit vectors.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512vl")]
+unsafe fn gather_pool_csr_avx512(
+    data: &[f32],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    crate::gather::gather_pool_csr_body(data, rows, indices, offsets, out);
+}
+
+/// The f16 gather+pool body recompiled with 256-bit vectors.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gather_pool_csr_f16_avx2(
+    data: &[u16],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    crate::quant::gather_pool_csr_f16_body(data, rows, indices, offsets, out);
+}
+
+/// The f16 gather+pool body recompiled with 512-bit vectors.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512vl")]
+unsafe fn gather_pool_csr_f16_avx512(
+    data: &[u16],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    crate::quant::gather_pool_csr_f16_body(data, rows, indices, offsets, out);
+}
+
+/// The i8 gather+pool body recompiled with 256-bit vectors.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gather_pool_csr_i8_avx2(
+    data: &[i8],
+    scales: &[f32],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    crate::quant::gather_pool_csr_i8_body(data, scales, rows, indices, offsets, out);
+}
+
+/// The i8 gather+pool body recompiled with 512-bit vectors.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512vl")]
+unsafe fn gather_pool_csr_i8_avx512(
+    data: &[i8],
+    scales: &[f32],
+    rows: u32,
+    indices: &[u32],
+    offsets: &[u32],
+    out: &mut Matrix,
+) {
+    crate::quant::gather_pool_csr_i8_body(data, scales, rows, indices, offsets, out);
 }

@@ -300,6 +300,82 @@ impl Div<Qps> for f64 {
     }
 }
 
+/// Storage element type of an embedding table — the unit the data plane's
+/// byte accounting is denominated in.
+///
+/// Embedding gathers are memory-bandwidth-bound (paper Fig 9), so the
+/// stored element width directly sets both a table's capacity footprint
+/// and its gather throughput. Placing the kind here (rather than in
+/// `er-tensor`) lets `er-partition`'s cost model price quantized tables
+/// without depending on the kernel crate: quantization becomes a
+/// *placement* decision, not just a kernel trick.
+///
+/// Accumulation is always f32 regardless of storage kind; `I8` rows carry
+/// one f32 scale each (symmetric, per-row), which [`ElemKind::row_bytes`]
+/// accounts for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ElemKind {
+    /// 32-bit IEEE-754 floats — the bit-exact reference precision.
+    #[default]
+    F32,
+    /// 16-bit IEEE-754 half-precision floats (round-to-nearest-even).
+    F16,
+    /// Signed 8-bit integers under a per-row symmetric f32 scale
+    /// (`scale = max_abs / 127`).
+    I8,
+}
+
+impl ElemKind {
+    /// Every kind, widest first.
+    pub const ALL: [ElemKind; 3] = [ElemKind::F32, ElemKind::F16, ElemKind::I8];
+
+    /// Stored bytes per element.
+    pub const fn bytes_per_elem(self) -> u64 {
+        match self {
+            ElemKind::F32 => 4,
+            ElemKind::F16 => 2,
+            ElemKind::I8 => 1,
+        }
+    }
+
+    /// Per-row side-band bytes: the f32 scale an `I8` row carries.
+    pub const fn scale_bytes_per_row(self) -> u64 {
+        match self {
+            ElemKind::F32 | ElemKind::F16 => 0,
+            ElemKind::I8 => 4,
+        }
+    }
+
+    /// Storage bytes of one `dim`-wide embedding vector at this kind,
+    /// including the per-row scale for `I8`.
+    pub const fn row_bytes(self, dim: u32) -> Bytes {
+        Bytes::of_u64(dim as u64 * self.bytes_per_elem() + self.scale_bytes_per_row())
+    }
+
+    /// Shrinks an f32-precision row size to this kind's storage size:
+    /// `f32_row / 4 * bytes_per_elem + scale_bytes`. The fractional form of
+    /// [`ElemKind::row_bytes`] for callers that carry row bytes rather
+    /// than a dimension.
+    pub fn scaled_row_bytes(self, f32_row: Bytes) -> Bytes {
+        f32_row * (self.bytes_per_elem() as f64 / 4.0) + Bytes::of_u64(self.scale_bytes_per_row())
+    }
+
+    /// Short lowercase name for reports and bench-section labels.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ElemKind::F32 => "f32",
+            ElemKind::F16 => "f16",
+            ElemKind::I8 => "i8",
+        }
+    }
+}
+
+impl fmt::Display for ElemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A whole number of logical CPU cores.
 ///
 /// Integer-backed (schedulers count cores); convert explicitly with
@@ -439,6 +515,27 @@ mod tests {
         assert_eq!(Cores::of(2) + Cores::of(3), Cores::of(5));
         assert_eq!(Cores::of(5) - Cores::of(3), Cores::of(2));
         assert!(Cores::of(2) < Cores::of(3));
+    }
+
+    #[test]
+    fn elem_kind_widths_and_row_bytes() {
+        assert_eq!(ElemKind::F32.bytes_per_elem(), 4);
+        assert_eq!(ElemKind::F16.bytes_per_elem(), 2);
+        assert_eq!(ElemKind::I8.bytes_per_elem(), 1);
+        assert_eq!(ElemKind::default(), ElemKind::F32);
+        // A dim-64 row: 256 B at f32, 128 B at f16, 64 + 4 (scale) at i8.
+        assert_eq!(ElemKind::F32.row_bytes(64), Bytes::of_u64(256));
+        assert_eq!(ElemKind::F16.row_bytes(64), Bytes::of_u64(128));
+        assert_eq!(ElemKind::I8.row_bytes(64), Bytes::of_u64(68));
+        // The fractional form agrees with the dimension form.
+        for kind in ElemKind::ALL {
+            assert_eq!(
+                kind.scaled_row_bytes(Bytes::of_u64(256)),
+                kind.row_bytes(64)
+            );
+        }
+        assert_eq!(ElemKind::I8.to_string(), "i8");
+        assert_eq!(ElemKind::F16.name(), "f16");
     }
 
     #[test]
