@@ -62,6 +62,11 @@ run_stage "par-sim parity" ./target/release/perfsuite --par-parity
 # produces bit-identical f32 gathers, and f16/i8 gathers stay inside their
 # analytic error bounds (unavailable backends are logged as skipped).
 run_stage "quant parity" ./target/release/perfsuite --quant-parity
+# The control plane's contract: er-mc exhaustively explores the documented
+# CI bound (2 deployments x 3 replicas x 6 traffic steps) over the *same*
+# pure handlers the engines run, hard-failing on any counterexample. The
+# machine-readable report lands at target/er-mc.json (er-lint-style schema).
+run_stage "er-mc" ./target/release/er-mc --format json --out target/er-mc.json
 
 echo
 echo "CI OK"

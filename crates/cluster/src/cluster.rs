@@ -6,6 +6,7 @@ use std::fmt;
 
 use er_sim::SimTime;
 
+use crate::schedule::{place_pod, NodeView, PlaceError, Placement, PoolView};
 use crate::{HardwareProfile, Pod, PodSpec, ResourceRequest};
 
 /// Why a pod could not be scheduled.
@@ -322,72 +323,41 @@ impl Cluster {
             let d = &self.deployments[idx];
             (*d.spec.resources(), d.spec.startup_secs())
         };
-        if !self
-            .pools
-            .iter()
-            .any(|p| ResourceRequest::default().fits_with(&request, &p.capacity()))
-        {
-            return Err(ScheduleError::PodLargerThanNode {
-                deployment: self.deployments[idx].name.clone(),
-            });
-        }
-        // Choose among existing nodes in pool order; within a pool, spread
-        // the deployment's pods across nodes (Kubernetes topology-spread /
-        // anti-affinity semantics) so one node failure cannot take out a
-        // whole deployment. Ties break toward lower node indices, keeping
-        // placement deterministic and packing dense.
+        // The placement decision itself is the pure `place_pod` — the same
+        // function the er-mc control-plane model explores. This method only
+        // snapshots views, maps errors, and applies the returned placement.
         let mut same_dep_per_node = vec![0usize; self.nodes.len()];
         for pod in &self.deployments[idx].pods {
             same_dep_per_node[pod.node()] += 1;
         }
-        let mut node_idx = None;
-        for pool in 0..self.pools.len() {
-            let capacity = self.pools[pool].capacity();
-            let best = self
-                .nodes
-                .iter()
-                .enumerate()
-                .filter(|(_, n)| {
-                    n.pool == pool && !n.failed && n.allocated.fits_with(&request, &capacity)
-                })
-                .min_by_key(|&(i, _)| (same_dep_per_node[i], i))
-                .map(|(i, _)| i);
-            if best.is_some() {
-                node_idx = best;
-                break;
-            }
-        }
-        let node_idx = match node_idx {
-            Some(i) => i,
-            None => {
-                // Provision from the first pool that can host the pod and
-                // has budget left.
-                let mut provisioned = None;
-                for (pool, spec) in self.pools.iter().enumerate() {
-                    if !ResourceRequest::default().fits_with(&request, &spec.capacity()) {
-                        continue;
-                    }
-                    let in_pool = self
-                        .nodes
-                        .iter()
-                        .filter(|n| n.pool == pool && !n.failed)
-                        .count();
-                    if spec.max_nodes.is_some_and(|max| in_pool >= max) {
-                        continue;
-                    }
-                    provisioned = Some(pool);
-                    break;
-                }
-                let Some(pool) = provisioned else {
-                    return Err(ScheduleError::ClusterFull {
-                        deployment: self.deployments[idx].name.clone(),
-                        max_nodes: self
-                            .pools
-                            .iter()
-                            .map(|p| p.max_nodes.unwrap_or(usize::MAX))
-                            .fold(0usize, |a, b| a.saturating_add(b)),
-                    });
-                };
+        let node_views: Vec<NodeView> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| NodeView {
+                pool: n.pool,
+                allocated: n.allocated,
+                failed: n.failed,
+                same_deployment_pods: same_dep_per_node[i],
+            })
+            .collect();
+        let pool_views: Vec<PoolView> = self
+            .pools
+            .iter()
+            .enumerate()
+            .map(|(pool, spec)| PoolView {
+                capacity: spec.capacity(),
+                max_nodes: spec.max_nodes,
+                live_nodes: self
+                    .nodes
+                    .iter()
+                    .filter(|n| n.pool == pool && !n.failed)
+                    .count(),
+            })
+            .collect();
+        let node_idx = match place_pod(&node_views, &pool_views, &request) {
+            Ok(Placement::Existing(i)) => i,
+            Ok(Placement::Provision { pool }) => {
                 self.nodes.push(Node {
                     pool,
                     allocated: ResourceRequest::default(),
@@ -395,6 +365,21 @@ impl Cluster {
                     failed: false,
                 });
                 self.nodes.len() - 1
+            }
+            Err(PlaceError::PodLargerThanNode) => {
+                return Err(ScheduleError::PodLargerThanNode {
+                    deployment: self.deployments[idx].name.clone(),
+                });
+            }
+            Err(PlaceError::ClusterFull) => {
+                return Err(ScheduleError::ClusterFull {
+                    deployment: self.deployments[idx].name.clone(),
+                    max_nodes: self
+                        .pools
+                        .iter()
+                        .map(|p| p.max_nodes.unwrap_or(usize::MAX))
+                        .fold(0usize, |a, b| a.saturating_add(b)),
+                });
             }
         };
         self.nodes[node_idx].allocated = self.nodes[node_idx].allocated.plus(&request);

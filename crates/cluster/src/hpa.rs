@@ -130,7 +130,159 @@ impl HpaPolicy {
     }
 }
 
-/// Stateful HPA evaluator for one deployment.
+/// The pure autoscaler state: everything [`HpaPolicy::step`] carries from
+/// one evaluation to the next. A fresh deployment starts from
+/// [`HpaState::default`] (no scaling history).
+///
+/// The state is a small value type so the explicit-state model checker
+/// (`er-mc`) can enumerate and fingerprint it; the simulation engine's
+/// [`HpaController`] wraps the same state and the same transition.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HpaState {
+    last_scale_down: Option<SimTime>,
+}
+
+impl HpaState {
+    /// Reconstructs a state from an explicit scale-down history — how the
+    /// model checker materializes enumerated states for replay.
+    pub fn with_last_scale_down(last_scale_down: Option<SimTime>) -> Self {
+        Self { last_scale_down }
+    }
+
+    /// When the controller last decided to scale down, if ever.
+    pub fn last_scale_down(&self) -> Option<SimTime> {
+        self.last_scale_down
+    }
+}
+
+impl HpaPolicy {
+    /// Raw desired replica count from the Kubernetes scaling rule, before
+    /// bounds, tolerance, and stabilization.
+    fn raw_desired(&self, current: usize, obs: &Observation) -> Option<(usize, f64)> {
+        match self.target {
+            ScalingTarget::QpsPerReplica(target) => {
+                // metric per replica = qps/current; desired = ceil(current *
+                // metric/target) = ceil(qps/target). Qps ÷ Qps is a
+                // dimensionless ratio.
+                let ratio = (obs.qps / current.max(1) as f64) / target;
+                Some(((obs.qps / target).ceil().max(0.0) as usize, ratio))
+            }
+            ScalingTarget::LatencyP95(target) => {
+                let p95 = obs.p95_latency?;
+                let ratio = p95 / target;
+                Some((((current as f64) * ratio).ceil().max(0.0) as usize, ratio))
+            }
+        }
+    }
+
+    /// The pure HPA transition: one policy evaluation as a
+    /// `(state, msg) -> (state', decision)` handler. No clocks, no RNG, no
+    /// ambient state — the same inputs always produce the same outputs,
+    /// which is what lets `er-mc` exhaustively explore interleavings of the
+    /// *exact* code the simulation engine runs.
+    ///
+    /// Returns the successor state and `Some(new_replicas)` when the
+    /// deployment should be resized (`None` to leave it alone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current` is zero — an HPA never manages a deployment with
+    /// no replicas.
+    pub fn step(
+        &self,
+        state: &HpaState,
+        now: SimTime,
+        current: usize,
+        obs: Observation,
+    ) -> (HpaState, Option<usize>) {
+        assert!(current > 0, "HPA requires at least one replica");
+        let Some((desired, ratio)) = self.raw_desired(current, &obs) else {
+            return (*state, None);
+        };
+        // Kubernetes' scale-up rate limit: without it a latency spike
+        // during a backlog multiplies replicas straight to the cap.
+        let up_limit = ((current as f64) * self.max_scale_up_factor)
+            .max((current + self.max_scale_up_pods) as f64) as usize;
+        let desired = desired
+            .min(up_limit)
+            .clamp(self.min_replicas, self.max_replicas);
+
+        // Tolerance band: ignore small deviations (Kubernetes behaviour).
+        if (ratio - 1.0).abs() <= self.tolerance {
+            return (*state, None);
+        }
+        if desired == current {
+            return (*state, None);
+        }
+        if desired < current {
+            // Scale-down stabilization window. SimTime subtraction yields
+            // raw seconds; rewrap before comparing against the window.
+            if let Some(last) = state.last_scale_down {
+                if Secs::of(now - last) < self.scale_down_stabilization {
+                    return (*state, None);
+                }
+            }
+            return (
+                HpaState {
+                    last_scale_down: Some(now),
+                },
+                Some(desired),
+            );
+        }
+        (*state, Some(desired))
+    }
+}
+
+/// Bounds a latency-driven frontend decision by what the offered load
+/// justifies. Latency-driven scaling assumes latency tracks replica count,
+/// which breaks around queue backlogs: a backlog inflates p95
+/// (over-scaling) and a freshly drained queue deflates it (under-scaling).
+/// Scale-ups are capped at twice the load-derived need; scale-downs are
+/// floored at need/0.85 so capacity never drops below what the traffic
+/// requires.
+///
+/// Pure like [`HpaPolicy::step`]: both simulation engines and the `er-mc`
+/// control-plane model call this exact function.
+pub fn bound_frontend_desired(
+    desired: usize,
+    current: usize,
+    load_qps: Qps,
+    capacity_qps: Qps,
+) -> usize {
+    let need = load_qps / capacity_qps;
+    if desired > current {
+        desired.min(((2.0 * need).ceil() as usize).max(current))
+    } else {
+        desired.max((need / 0.85).ceil() as usize).min(current)
+    }
+}
+
+/// Apply-time guard against stale scale-downs.
+///
+/// A scale decision is computed against a load observation, but by the
+/// time it is *applied* the offered load may have risen — the `er-mc`
+/// control-plane model found exactly this race (a scale-down delivered
+/// after a traffic step leaves fewer replicas than the new load needs).
+/// The guard clamps a scale-down so post-apply capacity still covers the
+/// load offered at apply time; scale-ups and no-ops pass through
+/// untouched. When decision and apply are atomic (the simulation engines),
+/// the clamp is an exact no-op, because the decision already covers the
+/// same observation.
+pub fn clamp_scale_to_load(
+    target: usize,
+    current: usize,
+    load_qps: Qps,
+    capacity_qps: Qps,
+) -> usize {
+    if target >= current {
+        return target;
+    }
+    let need = (load_qps / capacity_qps).ceil() as usize;
+    target.max(need).min(current)
+}
+
+/// Stateful HPA evaluator for one deployment: a thin shell holding the
+/// [`HpaState`] that [`HpaPolicy::step`] threads through evaluations.
 ///
 /// # Examples
 ///
@@ -148,7 +300,7 @@ impl HpaPolicy {
 #[derive(Debug, Clone)]
 pub struct HpaController {
     policy: HpaPolicy,
-    last_scale_down: Option<SimTime>,
+    state: HpaState,
 }
 
 impl HpaController {
@@ -156,7 +308,7 @@ impl HpaController {
     pub fn new(policy: HpaPolicy) -> Self {
         Self {
             policy,
-            last_scale_down: None,
+            state: HpaState::default(),
         }
     }
 
@@ -165,61 +317,25 @@ impl HpaController {
         &self.policy
     }
 
-    /// Raw desired replica count from the Kubernetes scaling rule, before
-    /// bounds, tolerance, and stabilization.
-    fn raw_desired(&self, current: usize, obs: &Observation) -> Option<(usize, f64)> {
-        match self.policy.target {
-            ScalingTarget::QpsPerReplica(target) => {
-                // metric per replica = qps/current; desired = ceil(current *
-                // metric/target) = ceil(qps/target). Qps ÷ Qps is a
-                // dimensionless ratio.
-                let ratio = (obs.qps / current.max(1) as f64) / target;
-                Some(((obs.qps / target).ceil().max(0.0) as usize, ratio))
-            }
-            ScalingTarget::LatencyP95(target) => {
-                let p95 = obs.p95_latency?;
-                let ratio = p95 / target;
-                Some((((current as f64) * ratio).ceil().max(0.0) as usize, ratio))
-            }
-        }
+    /// The controller's current pure state.
+    pub fn state(&self) -> &HpaState {
+        &self.state
     }
 
     /// Evaluates the policy. Returns `Some(new_replicas)` when the
     /// deployment should be resized, `None` to leave it alone.
+    ///
+    /// Delegates to the pure [`HpaPolicy::step`] transition — the
+    /// controller only stores the successor state.
     ///
     /// # Panics
     ///
     /// Panics if `current` is zero — an HPA never manages a deployment with
     /// no replicas.
     pub fn evaluate(&mut self, now: SimTime, current: usize, obs: Observation) -> Option<usize> {
-        assert!(current > 0, "HPA requires at least one replica");
-        let (desired, ratio) = self.raw_desired(current, &obs)?;
-        // Kubernetes' scale-up rate limit: without it a latency spike
-        // during a backlog multiplies replicas straight to the cap.
-        let up_limit = ((current as f64) * self.policy.max_scale_up_factor)
-            .max((current + self.policy.max_scale_up_pods) as f64) as usize;
-        let desired = desired
-            .min(up_limit)
-            .clamp(self.policy.min_replicas, self.policy.max_replicas);
-
-        // Tolerance band: ignore small deviations (Kubernetes behaviour).
-        if (ratio - 1.0).abs() <= self.policy.tolerance {
-            return None;
-        }
-        if desired == current {
-            return None;
-        }
-        if desired < current {
-            // Scale-down stabilization window. SimTime subtraction yields
-            // raw seconds; rewrap before comparing against the window.
-            if let Some(last) = self.last_scale_down {
-                if Secs::of(now - last) < self.policy.scale_down_stabilization {
-                    return None;
-                }
-            }
-            self.last_scale_down = Some(now);
-        }
-        Some(desired)
+        let (state, decision) = self.policy.step(&self.state, now, current, obs);
+        self.state = state;
+        decision
     }
 
     /// Fallible [`HpaController::evaluate`] for callers that can observe a
@@ -282,6 +398,25 @@ mod tests {
         let mut hpa = HpaController::new(qps_policy());
         // 2 replicas at 52.5 QPS each = 105 total: ratio 1.05 < 1.1.
         assert_eq!(hpa.evaluate(SimTime::ZERO, 2, obs(105.0)), None);
+    }
+
+    #[test]
+    fn clamp_scale_to_load_cancels_stale_scale_down() {
+        // The er-mc race: a down-to-1 decided at 100 QPS is delivered
+        // after the load rose to 200 QPS — 2 replicas are still needed.
+        assert_eq!(clamp_scale_to_load(1, 2, Qps::of(200.0), Qps::of(100.0)), 2);
+        // Load rose above even current capacity: the down becomes a no-op,
+        // never an up (scale-up stays the HPA's decision to make).
+        assert_eq!(clamp_scale_to_load(1, 2, Qps::of(500.0), Qps::of(100.0)), 2);
+    }
+
+    #[test]
+    fn clamp_scale_to_load_passes_covered_downs_and_all_ups() {
+        // A down the current load still justifies is untouched.
+        assert_eq!(clamp_scale_to_load(2, 3, Qps::of(200.0), Qps::of(100.0)), 2);
+        // Scale-ups and no-ops pass through.
+        assert_eq!(clamp_scale_to_load(5, 3, Qps::of(100.0), Qps::of(100.0)), 5);
+        assert_eq!(clamp_scale_to_load(3, 3, Qps::of(900.0), Qps::of(100.0)), 3);
     }
 
     #[test]

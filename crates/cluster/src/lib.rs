@@ -44,9 +44,14 @@ mod hardware;
 mod hpa;
 mod pod;
 mod resources;
+mod schedule;
 
 pub use cluster::{Cluster, DeployId, NodePool, ScheduleError};
 pub use hardware::{GpuSpec, HardwareProfile};
-pub use hpa::{HpaController, HpaError, HpaPolicy, Observation, ScalingTarget};
+pub use hpa::{
+    bound_frontend_desired, clamp_scale_to_load, HpaController, HpaError, HpaPolicy, HpaState,
+    Observation, ScalingTarget,
+};
 pub use pod::{Pod, PodSpec};
 pub use resources::ResourceRequest;
+pub use schedule::{place_pod, NodeView, PlaceError, Placement, PoolView};

@@ -1,0 +1,180 @@
+//! Pure pod placement: the bin-packing decision of [`crate::Cluster`]
+//! extracted as a side-effect-free function over value snapshots.
+//!
+//! [`place_pod`] is the single source of truth for where a pod goes — the
+//! cluster's `add_pod` builds the views, calls it, and applies the
+//! returned [`Placement`]; the `er-mc` control-plane model calls the same
+//! function on model states. Keeping the decision pure (no clocks, no RNG,
+//! no ambient state) is what makes scheduler policies enumerable by the
+//! model checker and, down the road, pluggable values.
+
+use crate::ResourceRequest;
+
+/// Snapshot of one node as the placement decision sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeView {
+    /// Index of the pool the node was provisioned from.
+    pub pool: usize,
+    /// Resources currently allocated on the node.
+    pub allocated: ResourceRequest,
+    /// Failed nodes accept no pods.
+    pub failed: bool,
+    /// Pods of the deployment being placed already on this node — the
+    /// topology-spread input.
+    pub same_deployment_pods: usize,
+}
+
+/// Snapshot of one node pool as the placement decision sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolView {
+    /// Whole-node capacity of every node in the pool.
+    pub capacity: ResourceRequest,
+    /// Provisioning cap (`None` = unbounded).
+    pub max_nodes: Option<usize>,
+    /// Non-failed nodes currently provisioned from this pool, counted
+    /// against `max_nodes`.
+    pub live_nodes: usize,
+}
+
+/// Where a pod should go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Place onto the existing node at this index.
+    Existing(usize),
+    /// Provision a fresh node from this pool and place onto it.
+    Provision {
+        /// Pool to provision from.
+        pool: usize,
+    },
+}
+
+/// Why no placement exists. The cluster attaches the deployment name when
+/// converting to [`crate::ScheduleError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The request exceeds every pool's whole-node capacity.
+    PodLargerThanNode,
+    /// Every fitting node is full and every fitting pool is at its cap.
+    ClusterFull,
+}
+
+/// Decides where one pod of `request` goes, Kubernetes-style:
+///
+/// 1. Reject requests larger than every pool's whole-node capacity.
+/// 2. Among existing nodes, walk pools in order; within a pool prefer the
+///    node with the fewest same-deployment pods (topology-spread /
+///    anti-affinity), breaking ties toward lower node indices so placement
+///    is deterministic and packing dense.
+/// 3. Otherwise provision from the first pool that can host the pod and
+///    has budget left.
+///
+/// # Errors
+///
+/// [`PlaceError::PodLargerThanNode`] if step 1 rejects the request,
+/// [`PlaceError::ClusterFull`] if steps 2–3 find nothing.
+pub fn place_pod(
+    nodes: &[NodeView],
+    pools: &[PoolView],
+    request: &ResourceRequest,
+) -> Result<Placement, PlaceError> {
+    if !pools
+        .iter()
+        .any(|p| ResourceRequest::default().fits_with(request, &p.capacity))
+    {
+        return Err(PlaceError::PodLargerThanNode);
+    }
+    for (pool, spec) in pools.iter().enumerate() {
+        let best = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                n.pool == pool && !n.failed && n.allocated.fits_with(request, &spec.capacity)
+            })
+            .min_by_key(|&(i, n)| (n.same_deployment_pods, i))
+            .map(|(i, _)| i);
+        if let Some(i) = best {
+            return Ok(Placement::Existing(i));
+        }
+    }
+    for (pool, spec) in pools.iter().enumerate() {
+        if !ResourceRequest::default().fits_with(request, &spec.capacity) {
+            continue;
+        }
+        if spec.max_nodes.is_some_and(|max| spec.live_nodes >= max) {
+            continue;
+        }
+        return Ok(Placement::Provision { pool });
+    }
+    Err(PlaceError::ClusterFull)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(cpu: u64, mem: u64) -> ResourceRequest {
+        ResourceRequest::cpu(cpu, mem)
+    }
+
+    fn node(pool: usize, cpu: u64, same: usize) -> NodeView {
+        NodeView {
+            pool,
+            allocated: req(cpu, 0),
+            failed: false,
+            same_deployment_pods: same,
+        }
+    }
+
+    fn pool(cpu: u64, max: Option<usize>, live: usize) -> PoolView {
+        PoolView {
+            capacity: req(cpu, 1 << 40),
+            max_nodes: max,
+            live_nodes: live,
+        }
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_before_anything_else() {
+        let err = place_pod(&[], &[pool(64_000, None, 0)], &req(100_000, 0));
+        assert_eq!(err, Err(PlaceError::PodLargerThanNode));
+    }
+
+    #[test]
+    fn spread_prefers_fewest_same_deployment_pods_then_lowest_index() {
+        let nodes = [node(0, 0, 2), node(0, 0, 1), node(0, 0, 1)];
+        let got = place_pod(&nodes, &[pool(64_000, None, 3)], &req(1000, 0));
+        assert_eq!(got, Ok(Placement::Existing(1)));
+    }
+
+    #[test]
+    fn failed_and_full_nodes_are_skipped() {
+        let mut failed = node(0, 0, 0);
+        failed.failed = true;
+        let full = node(0, 64_000, 0);
+        let got = place_pod(&[failed, full], &[pool(64_000, Some(3), 1)], &req(1000, 0));
+        assert_eq!(got, Ok(Placement::Provision { pool: 0 }));
+    }
+
+    #[test]
+    fn earlier_pools_win_even_when_later_nodes_are_emptier() {
+        let nodes = [node(1, 0, 0), node(0, 32_000, 0)];
+        let got = place_pod(
+            &nodes,
+            &[pool(64_000, None, 1), pool(64_000, None, 1)],
+            &req(1000, 0),
+        );
+        assert_eq!(got, Ok(Placement::Existing(1)));
+    }
+
+    #[test]
+    fn provisioning_respects_pool_budgets() {
+        let pools = [pool(8_000, Some(1), 1), pool(64_000, Some(2), 1)];
+        let got = place_pod(&[], &pools, &req(16_000, 0));
+        assert_eq!(got, Ok(Placement::Provision { pool: 1 }));
+        let capped = [pool(64_000, Some(1), 1)];
+        assert_eq!(
+            place_pod(&[], &capped, &req(16_000, 0)),
+            Err(PlaceError::ClusterFull)
+        );
+    }
+}

@@ -9,7 +9,10 @@
 //! (QPS for sparse shards, p95 latency for the frontend, Section IV-D).
 //! This is the machinery behind the paper's Figure 19.
 
-use er_cluster::{Cluster, DeployId, HpaController, HpaPolicy, Observation, ScalingTarget};
+use er_cluster::{
+    bound_frontend_desired, clamp_scale_to_load, Cluster, DeployId, HpaController, HpaPolicy,
+    Observation, ScalingTarget,
+};
 use er_metrics::{Histogram, QpsWindow, Summary, TimeSeries};
 use er_rpc::messages;
 use er_sim::{EventQueue, SimRng, SimTime};
@@ -697,21 +700,26 @@ impl<'a> Engine<'a> {
                     .hpa
                     .evaluate(SimTime::from_secs(now), current, obs)
             {
-                // Latency-driven scaling assumes latency tracks replica
-                // count, which breaks around queue backlogs: a backlog
-                // inflates p95 (over-scaling) and a freshly drained queue
-                // deflates it (under-scaling). Bound the frontend by what
-                // the offered load justifies in both directions.
                 let desired = if i == self.frontend {
-                    let need = qps / self.plan.shards[i].qps_max();
-                    if desired > current {
-                        desired.min(((2.0 * need).ceil() as usize).max(current))
-                    } else {
-                        desired.max((need / 0.85).ceil() as usize).min(current)
-                    }
+                    bound_frontend_desired(
+                        desired,
+                        current,
+                        Qps::of(qps),
+                        Qps::of(self.plan.shards[i].qps_max()),
+                    )
                 } else {
                     desired
                 };
+                // Apply-time stale-decision guard. Decisions apply
+                // atomically here, so this is an exact no-op — but the
+                // er-mc model checks the delivery-delayed apply path, and
+                // both must route through the same guard.
+                let desired = clamp_scale_to_load(
+                    desired,
+                    current,
+                    Qps::of(qps),
+                    Qps::of(self.plan.shards[i].qps_max()),
+                );
                 if desired != current {
                     // A full cluster is not fatal: keep serving as-is.
                     let _ = self

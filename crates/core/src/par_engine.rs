@@ -32,7 +32,10 @@
 //! sequential engine but not bitwise: same-instant event ties resolve by
 //! a different (equally deterministic) order.
 
-use er_cluster::{Cluster, HpaController, HpaPolicy, Observation, ScalingTarget};
+use er_cluster::{
+    bound_frontend_desired, clamp_scale_to_load, Cluster, HpaController, HpaPolicy, Observation,
+    ScalingTarget,
+};
 use er_metrics::{Histogram, QpsWindow, TimeSeries};
 use er_rpc::messages;
 use er_sim::{
@@ -397,15 +400,23 @@ impl ControlLp<'_> {
             {
                 // Same offered-load bound on the frontend as sequentially.
                 let desired = if i == self.frontend {
-                    let need = qps / self.plan.shards[i].qps_max();
-                    if desired > current {
-                        desired.min(((2.0 * need).ceil() as usize).max(current))
-                    } else {
-                        desired.max((need / 0.85).ceil() as usize).min(current)
-                    }
+                    bound_frontend_desired(
+                        desired,
+                        current,
+                        Qps::of(qps),
+                        Qps::of(self.plan.shards[i].qps_max()),
+                    )
                 } else {
                     desired
                 };
+                // Same apply-time stale-decision guard as sequentially
+                // (a no-op here: decisions apply atomically).
+                let desired = clamp_scale_to_load(
+                    desired,
+                    current,
+                    Qps::of(qps),
+                    Qps::of(self.plan.shards[i].qps_max()),
+                );
                 if desired != current {
                     let _ = self
                         .cluster

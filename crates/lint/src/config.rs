@@ -25,6 +25,13 @@ pub struct Config {
     /// Files that have adopted er-units typed quantities: raw-f64
     /// arithmetic on resource-named symbols (`unit_mixing`) is banned here.
     pub units: Vec<String>,
+    /// Pure actor-style handler modules (`fn on_msg(&State, Msg) ->
+    /// (State, Vec<Out>)` and the helpers they call): wall-clock reads,
+    /// ambient RNG, environment reads, and mutable ambient state
+    /// (`impure_handler`) are banned inside every fn here — the er-mc
+    /// model checker can only explore what is a pure function of its
+    /// inputs.
+    pub handlers: Vec<String>,
     /// Paths the workspace walk skips entirely.
     pub skip: Vec<String>,
 }
@@ -53,6 +60,15 @@ impl Default for Config {
                 "crates/cluster/src/hardware.rs",
                 "crates/cluster/src/hpa.rs",
                 "crates/model/src/flops.rs",
+            ]),
+            handlers: strs(&[
+                "crates/cluster/src/hpa.rs",
+                "crates/cluster/src/schedule.rs",
+                "crates/rpc/src/pure.rs",
+                "crates/mc/src/actor.rs",
+                "crates/mc/src/checker.rs",
+                "crates/mc/src/control.rs",
+                "crates/mc/src/report.rs",
             ]),
             skip: strs(&["vendor", "target", ".git", "crates/lint/tests/fixtures"]),
         }
@@ -92,6 +108,7 @@ impl Config {
                 "blessed_kernels" => cfg.blessed_kernels = items,
                 "wall_clock_extra" => cfg.wall_clock_extra = items,
                 "units" => cfg.units = items,
+                "handlers" => cfg.handlers = items,
                 "skip" => cfg.skip = items,
                 other => {
                     return Err(format!(

@@ -24,7 +24,7 @@ use std::process::ExitCode;
 use er_lint::{check_workspace, walk, Config, Diagnostic, FileContext};
 
 /// Every rule the engine can emit, for the stable per-rule summary.
-const RULES: [&str; 7] = [
+const RULES: [&str; 8] = [
     "wall_clock",
     "ambient_rng",
     "env_io",
@@ -32,6 +32,7 @@ const RULES: [&str; 7] = [
     "no_panic",
     "float_reduction",
     "unit_mixing",
+    "impure_handler",
 ];
 
 struct Args {

@@ -290,6 +290,9 @@ pub(crate) fn check_file_inner(
     if Config::in_paths(&ctx.path, &cfg.units) && !blessed && !tool {
         unit_mixing(ctx, &mut out);
     }
+    if Config::in_paths(&ctx.path, &cfg.handlers) && !tool {
+        impure_handler(ctx, &mut out);
+    }
     out.retain(|d| !ctx.suppressed(d.line, d.rule));
     out
 }
@@ -358,11 +361,14 @@ fn ambient_rng(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Process-environment accessors shared by `env_io` and `impure_handler`.
+const ENV_CALLS: [&str; 7] = [
+    "var", "var_os", "vars", "vars_os", "args", "args_os", "temp_dir",
+];
+
 /// `env_io`: process-environment reads in deterministic paths.
 fn env_io(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
-    const CALLS: [&str; 7] = [
-        "var", "var_os", "vars", "vars_os", "args", "args_os", "temp_dir",
-    ];
+    const CALLS: [&str; 7] = ENV_CALLS;
     for ci in 0..ctx.code.len().saturating_sub(2) {
         if ctx.is_test_token(ci) {
             continue;
@@ -811,6 +817,174 @@ fn unit_mixing(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Spans of every `fn` body in the file: `(name, body_open, body_close)`
+/// as code-token indices. Nested fns produce nested spans; the *innermost*
+/// span containing a token names the function it belongs to.
+fn fn_spans(ctx: &FileContext<'_>) -> Vec<(String, usize, usize)> {
+    let n = ctx.code.len();
+    let mut spans = Vec::new();
+    let mut ci = 0;
+    while ci < n {
+        if ctx.is_ident(ci, "fn") && ci + 1 < n && ctx.kind(ci + 1) == TokenKind::Ident {
+            let name = ctx.text(ci + 1).to_string();
+            // Find the body's opening brace, skipping the parameter list;
+            // a `;` at paren depth 0 means a bodyless trait declaration.
+            let mut j = ci + 2;
+            let mut paren = 0usize;
+            let mut body = None;
+            while j < n {
+                match ctx.kind(j) {
+                    TokenKind::Punct('(') => paren += 1,
+                    TokenKind::Punct(')') => paren = paren.saturating_sub(1),
+                    TokenKind::Punct('{') if paren == 0 => {
+                        body = Some(j);
+                        break;
+                    }
+                    TokenKind::Punct(';') if paren == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(start) = body {
+                let mut depth = 0usize;
+                let mut k = start;
+                let mut end = n - 1;
+                while k < n {
+                    match ctx.kind(k) {
+                        TokenKind::Punct('{') => depth += 1,
+                        TokenKind::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = k;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                spans.push((name, start, end));
+            }
+        }
+        ci += 1;
+    }
+    spans
+}
+
+/// `impure_handler`: ambient inputs inside handler-classed modules.
+///
+/// Files in the `handlers` path class hold pure actor-style handlers
+/// (`fn on_msg(&State, Msg) -> (State, Vec<Out>)`) and the helpers they
+/// call — the code the `er-mc` model checker replays, where any hidden
+/// input (wall clock, ambient RNG, process environment, mutable statics)
+/// silently invalidates every explored trace. Four shapes:
+///
+/// 1. `Instant::now()` / `SystemTime::now()` inside any fn — time must
+///    arrive in the message;
+/// 2. `thread_rng` / `from_entropy` / `rand::random` inside any fn —
+///    nondeterminism must be enumerated or seeded by the caller;
+/// 3. `env::var` and friends inside any fn — configuration must be a
+///    parameter;
+/// 4. `static mut` / `thread_local!` declarations anywhere — handler
+///    state must live in the state value the checker fingerprints.
+fn impure_handler(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    let n = ctx.code.len();
+    let spans = fn_spans(ctx);
+    let enclosing = |ci: usize| -> Option<&str> {
+        spans
+            .iter()
+            .rev()
+            .find(|(_, start, end)| *start < ci && ci < *end)
+            .map(|(name, _, _)| name.as_str())
+    };
+    for ci in 0..n {
+        if ctx.is_test_token(ci) {
+            continue;
+        }
+        // Shape 4 anchors on declarations, inside fns or not.
+        if ctx.is_ident(ci, "static") && ci + 1 < n && ctx.is_ident(ci + 1, "mut") {
+            push(
+                out,
+                ctx,
+                ci,
+                "impure_handler",
+                "`static mut` is ambient state a pure handler can mutate invisibly; keep handler state in the state value the model checker fingerprints".to_string(),
+            );
+            continue;
+        }
+        if ctx.is_ident(ci, "thread_local")
+            && ci + 1 < n
+            && ctx.kind(ci + 1) == TokenKind::Punct('!')
+        {
+            push(
+                out,
+                ctx,
+                ci,
+                "impure_handler",
+                "`thread_local!` is ambient state invisible to the model checker; keep handler state in the state value it fingerprints".to_string(),
+            );
+            continue;
+        }
+        if ctx.kind(ci) != TokenKind::Ident {
+            continue;
+        }
+        let Some(fn_name) = enclosing(ci) else {
+            continue;
+        };
+        let t = ctx.text(ci);
+        // 1. Wall clock.
+        if (t == "Instant" || t == "SystemTime")
+            && ci + 2 < n
+            && ctx.kind(ci + 1) == TokenKind::PathSep
+            && ctx.is_ident(ci + 2, "now")
+        {
+            push(
+                out,
+                ctx,
+                ci,
+                "impure_handler",
+                format!("`{t}::now()` inside handler fn `{fn_name}` reads the wall clock; pure on_msg-shaped handlers must take time from the message"),
+            );
+            continue;
+        }
+        // 2. Ambient RNG.
+        let rng_hit = t == "thread_rng"
+            || t == "from_entropy"
+            || (t == "random"
+                && ci >= 2
+                && ctx.kind(ci - 1) == TokenKind::PathSep
+                && ctx.is_ident(ci - 2, "rand"));
+        if rng_hit {
+            push(
+                out,
+                ctx,
+                ci,
+                "impure_handler",
+                format!("`{t}` inside handler fn `{fn_name}` draws ambient entropy; pure on_msg-shaped handlers must have nondeterminism enumerated or seeded by the caller"),
+            );
+            continue;
+        }
+        // 3. Environment reads.
+        if t == "env"
+            && ci + 2 < n
+            && ctx.kind(ci + 1) == TokenKind::PathSep
+            && ctx.kind(ci + 2) == TokenKind::Ident
+            && ENV_CALLS.contains(&ctx.text(ci + 2))
+        {
+            push(
+                out,
+                ctx,
+                ci,
+                "impure_handler",
+                format!(
+                    "`env::{}` inside handler fn `{fn_name}` reads the process environment; pure on_msg-shaped handlers must take configuration as parameters",
+                    ctx.text(ci + 2)
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -994,6 +1168,68 @@ fn f(a_bytes: Bytes, b_bytes: Bytes, gathers: f64) -> Bytes {
         let src = "fn f(shard_bytes: f64, dense_flops: f64) -> f64 { shard_bytes + dense_flops }";
         assert!(check("crates/core/src/engine.rs", src).is_empty());
         assert_eq!(check("crates/model/src/flops.rs", src).len(), 3);
+    }
+
+    #[test]
+    fn impure_handler_fires_only_in_handler_files_and_names_the_fn() {
+        let src = "\
+pub fn on_msg(state: &u32, msg: &u32) -> (u32, Vec<u32>) {
+    let t = Instant::now();
+    (*state + *msg + t.elapsed().as_secs() as u32, Vec::new())
+}
+";
+        let d = check("crates/rpc/src/pure.rs", src);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].rule, "impure_handler");
+        assert!(d[0].message.contains("`on_msg`"), "{}", d[0].message);
+        // The same source outside the handlers class is clean.
+        assert!(check("crates/metrics/src/qps.rs", src).is_empty());
+    }
+
+    #[test]
+    fn impure_handler_flags_rng_env_and_ambient_state() {
+        let src = "\
+static mut HITS: u32 = 0;
+pub fn step(state: &u32) -> u32 {
+    let r = thread_rng();
+    let v = std::env::var(\"SEED\");
+    let _ = (r, v);
+    *state
+}
+";
+        let d = check("crates/cluster/src/schedule.rs", src);
+        let rules: Vec<_> = d.iter().map(|x| (x.rule, x.line)).collect();
+        assert_eq!(
+            rules,
+            vec![
+                ("impure_handler", 1),
+                ("impure_handler", 3),
+                ("impure_handler", 4)
+            ],
+            "{d:#?}"
+        );
+    }
+
+    #[test]
+    fn impure_handler_ignores_fn_signatures_and_test_code() {
+        // Mentions outside fn bodies (docs are comments anyway) and inside
+        // #[cfg(test)] items don't count; a pure handler passes clean.
+        let src = "\
+pub fn on_msg(state: &u32, now_secs: f64, msg: &u32) -> (u32, Vec<u32>) {
+    let _ = now_secs;
+    (state + msg, Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let t0 = Instant::now();
+        let _ = t0;
+    }
+}
+";
+        assert!(check("crates/rpc/src/pure.rs", src).is_empty());
     }
 
     #[test]

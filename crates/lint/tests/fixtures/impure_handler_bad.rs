@@ -1,0 +1,25 @@
+//! Fixture: an on_msg-shaped handler that smuggles in every ambient input
+//! the `impure_handler` rule bans. Checked under a `handlers` path class.
+
+// Ambient state outside any fn: flagged at the declaration.
+static mut DELIVERED: u64 = 0;
+
+/// Looks like a pure actor handler, but every line of the body is a
+/// hidden input the model checker cannot replay.
+pub fn on_msg(state: &u64, msg: &u64) -> (u64, Vec<u64>) {
+    // Wall clock instead of message time.
+    let now = std::time::Instant::now();
+    // Ambient entropy instead of caller-enumerated choices.
+    let jitter = thread_rng().gen_range(0..4);
+    // Process environment instead of a parameter.
+    let scale = std::env::var("HANDLER_SCALE").map_or(1, |v| v.len() as u64);
+    let _ = now;
+    (state + msg + jitter + scale, Vec::new())
+}
+
+/// A helper called from the handler is held to the same contract.
+fn helper_seed() -> u64 {
+    let t = SystemTime::now();
+    let _ = t;
+    7
+}

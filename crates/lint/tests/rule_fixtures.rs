@@ -191,6 +191,37 @@ fn unit_mixing_qps_latency_fixture_flags_the_littles_law_product() {
 }
 
 #[test]
+fn impure_handler_fixture_flags_every_ambient_input() {
+    let src = include_str!("fixtures/impure_handler_bad.rs");
+    // `crates/rpc/src/pure.rs` is in the `handlers` class (exact file).
+    let diags = check("crates/rpc/src/pure.rs", src);
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![
+            ("impure_handler", 5),  // static mut
+            ("impure_handler", 11), // Instant::now in on_msg
+            ("impure_handler", 13), // thread_rng in on_msg
+            ("impure_handler", 15), // env::var in on_msg
+            ("impure_handler", 22), // SystemTime::now in helper
+        ],
+        "{diags:#?}"
+    );
+    // Diagnostics name the enclosing handler fn.
+    assert!(
+        diags[1].message.contains("`on_msg`"),
+        "{}",
+        diags[1].message
+    );
+    assert!(
+        diags[4].message.contains("`helper_seed`"),
+        "{}",
+        diags[4].message
+    );
+    // The same source outside any handlers-classed path is clean.
+    assert!(check("crates/metrics/src/qps.rs", src).is_empty());
+}
+
+#[test]
 fn panic_reach_fixture_reports_the_cross_function_chain() {
     let src = include_str!("fixtures/panic_reach_bad.rs");
     let diags = check_graph("crates/rpc/src/panic_reach_bad.rs", src);
@@ -263,6 +294,7 @@ fn every_bad_fixture_is_wired_to_expectations() {
             false,
             3,
         ),
+        ("impure_handler_bad.rs", "crates/rpc/src/pure.rs", false, 5),
         ("panic_reach_bad.rs", "crates/rpc/src/f.rs", true, 1),
         ("raw_string_trap_bad.rs", "crates/rpc/src/f.rs", true, 1),
         ("nested_comment_bad.rs", "crates/rpc/src/f.rs", true, 1),

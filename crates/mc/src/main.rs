@@ -1,0 +1,182 @@
+//! The `er-mc` binary: explore the control-plane model, print the
+//! property report, exit nonzero on any counterexample.
+//!
+//! ```text
+//! er-mc [--smoke] [--p2c] [--dfs] [--depth N] [--mutate NAME]
+//!       [--format json|text] [--out PATH]
+//! ```
+//!
+//! The default bound is the documented CI bound (2 deployments × 3 max
+//! replicas × 6 traffic steps); `--smoke` runs the small bound. `--mutate`
+//! seeds a deliberately broken handler (`forget-stabilization`,
+//! `skip-scale-sync`, `over-drain`, `stuck-hpa`) — useful for inspecting
+//! the minimized trace each bug produces; mutated runs still exit nonzero
+//! when (as intended) a property fails. `--out` writes the JSON report to
+//! a file (CI writes `target/er-mc.json`) regardless of `--format`.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use er_mc::{check, control, render_json, Bounds, CpConfig, Mutation, Strategy};
+
+struct Args {
+    smoke: bool,
+    p2c: bool,
+    dfs: bool,
+    depth: Option<usize>,
+    mutate: Option<Mutation>,
+    json: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        p2c: false,
+        dfs: false,
+        depth: None,
+        mutate: None,
+        json: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--p2c" => args.p2c = true,
+            "--dfs" => args.dfs = true,
+            "--depth" => match it.next().and_then(|d| d.parse().ok()) {
+                Some(d) => args.depth = Some(d),
+                None => return Err("--depth takes a number".into()),
+            },
+            "--mutate" => {
+                args.mutate = Some(match it.next().as_deref() {
+                    Some("forget-stabilization") => Mutation::ForgetStabilization,
+                    Some("skip-scale-sync") => Mutation::SkipScaleSync,
+                    Some("over-drain") => Mutation::OverDrain,
+                    Some("stuck-hpa") => Mutation::StuckHpa,
+                    Some("no-apply-clamp") => Mutation::NoApplyClamp,
+                    other => return Err(format!("unknown mutation {other:?}")),
+                });
+            }
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                other => return Err(format!("--format takes `json` or `text`, got {other:?}")),
+            },
+            "--out" => match it.next() {
+                Some(path) => args.out = Some(path),
+                None => return Err("--out takes a path".into()),
+            },
+            flag => return Err(format!("unknown flag `{flag}`")),
+        }
+    }
+    Ok(args)
+}
+
+// The binary times the real exploration wall clock for its report — the
+// handlers it drives stay pure; only the harness reads time.
+#[allow(clippy::disallowed_methods)]
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("er-mc: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cfg = if args.smoke {
+        CpConfig::smoke()
+    } else {
+        CpConfig::ci()
+    };
+    cfg.p2c = args.p2c;
+    if let Some(m) = args.mutate {
+        cfg.mutation = m;
+    }
+    let bound = format!(
+        "{} deployments x {} max replicas x {} traffic steps, {} ticks, {} in-flight{}{}",
+        cfg.deployments(),
+        cfg.max_replicas,
+        cfg.traffic.len(),
+        cfg.max_ticks,
+        cfg.inflight_budget,
+        if cfg.p2c { ", p2c" } else { "" },
+        match cfg.mutation {
+            Mutation::None => String::new(),
+            m => format!(", mutation {m:?}"),
+        },
+    );
+
+    let strategy = if args.dfs {
+        Strategy::Dfs
+    } else {
+        Strategy::Bfs
+    };
+    let mut bounds = Bounds::default();
+    if let Some(d) = args.depth {
+        bounds.max_depth = d;
+    }
+
+    let model = control::ControlPlane::new(cfg);
+    let props = control::properties();
+    let start = Instant::now();
+    let report = check(&model, &props, strategy, bounds);
+    let elapsed = start.elapsed();
+
+    let json = render_json(&bound, &report);
+    if let Some(path) = &args.out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("er-mc: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.json {
+        println!("{json}");
+    } else {
+        println!("er-mc: bound: {bound}");
+        println!(
+            "er-mc: {} distinct states, depth {}, {} terminal states, {:.2}s{}",
+            report.states,
+            report.max_depth,
+            report.terminals,
+            elapsed.as_secs_f64(),
+            if report.truncated { " (truncated)" } else { "" },
+        );
+        for p in &report.properties {
+            match &p.counterexample {
+                None => println!("er-mc: PASS {}", p.name),
+                Some(cx) => {
+                    println!(
+                        "er-mc: FAIL {} — minimized counterexample ({} events):",
+                        p.name,
+                        cx.actions.len()
+                    );
+                    print!("{}", cx.render());
+                }
+            }
+        }
+    }
+
+    if report.ok() {
+        eprintln!(
+            "er-mc: OK — all {} properties hold",
+            report.properties.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        let failed = report
+            .properties
+            .iter()
+            .filter(|p| p.counterexample.is_some())
+            .count();
+        eprintln!("er-mc: FAIL — {failed} property violation(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,218 @@
+//! The property catalog under check, and the seeded-mutation regression
+//! suite: every deliberately broken handler must be caught by exactly the
+//! property that owns its bug class, with a minimized trace that replays.
+
+use er_mc::{check, control, replay, Bounds, CpConfig, Mutation, Strategy};
+
+fn run(cfg: CpConfig) -> er_mc::CheckReport<control::ControlPlane> {
+    let model = control::ControlPlane::new(cfg);
+    check(
+        &model,
+        &control::properties(),
+        Strategy::Bfs,
+        Bounds::default(),
+    )
+}
+
+/// A small single-deployment bound whose traffic staircase (1 → 3 → 2 → 1)
+/// exercises scale-up, the double scale-down that arms the stabilization
+/// window, and the decision/delivery race.
+fn staircase() -> CpConfig {
+    CpConfig {
+        traffic: vec![vec![1], vec![3], vec![2], vec![1]],
+        max_ticks: 10,
+        ..CpConfig::ci()
+    }
+}
+
+#[test]
+fn ci_bound_is_exhaustive_and_clean() {
+    let report = run(CpConfig::ci());
+    assert!(!report.truncated, "CI bound must be fully explored");
+    assert!(
+        report.states >= 100_000,
+        "the documented bound dedupes >= 1e5 states, got {}",
+        report.states
+    );
+    assert!(report.terminals > 0);
+    for p in &report.properties {
+        assert!(
+            p.counterexample.is_none(),
+            "property {} violated on the shipped handlers:\n{}",
+            p.name,
+            p.counterexample.as_ref().unwrap().render()
+        );
+    }
+    assert_eq!(report.properties.len(), 5);
+}
+
+#[test]
+fn smoke_bound_with_p2c_is_clean() {
+    let mut cfg = CpConfig::smoke();
+    cfg.p2c = true;
+    let report = run(cfg);
+    assert!(!report.truncated);
+    assert!(report.ok(), "p2c routing must satisfy the same properties");
+}
+
+/// Runs a mutated config and asserts exactly `expect` fails, returning its
+/// minimized counterexample.
+fn catch(cfg: CpConfig, expect: &str) -> er_mc::Trace<control::ControlPlane> {
+    let mutation = cfg.mutation;
+    let report = run(cfg);
+    for p in &report.properties {
+        if p.name == expect {
+            assert!(
+                p.counterexample.is_some(),
+                "{mutation:?} must violate {expect}"
+            );
+        } else {
+            assert!(
+                p.counterexample.is_none(),
+                "{mutation:?} unexpectedly violated {} too",
+                p.name
+            );
+        }
+    }
+    report
+        .properties
+        .into_iter()
+        .find(|p| p.name == expect)
+        .unwrap()
+        .counterexample
+        .unwrap()
+}
+
+#[test]
+fn forgetting_stabilization_is_caught_as_thrash() {
+    let cfg = CpConfig {
+        mutation: Mutation::ForgetStabilization,
+        ..staircase()
+    };
+    let cx = catch(cfg, "no_thrash_within_stabilization");
+    // Two scale-downs need two HPA ticks plus the traffic staircase; a
+    // minimized trace stays within a dozen-odd events.
+    assert!(
+        cx.actions.len() <= 16,
+        "trace not minimized: {}",
+        cx.render()
+    );
+}
+
+#[test]
+fn skipping_scale_sync_is_caught_by_counter_accuracy() {
+    // Stale counters only *surface* when a replica slot is recycled:
+    // scale down with a request still charged to the victim, then scale
+    // back up — the fresh replica inherits the dead pod's count. The
+    // traffic script must re-grow after shrinking.
+    let cfg = CpConfig {
+        traffic: vec![vec![1], vec![2], vec![1], vec![2]],
+        max_ticks: 10,
+        mutation: Mutation::SkipScaleSync,
+        ..CpConfig::ci()
+    };
+    let cx = catch(cfg, "balancer_counters_accurate");
+    assert!(
+        cx.actions.len() <= 16,
+        "trace not minimized: {}",
+        cx.render()
+    );
+}
+
+#[test]
+fn over_draining_is_caught_by_capacity_floor() {
+    let cfg = CpConfig {
+        mutation: Mutation::OverDrain,
+        ..staircase()
+    };
+    let cx = catch(cfg, "no_scale_down_below_capacity");
+    assert!(
+        cx.actions.len() <= 12,
+        "trace not minimized: {}",
+        cx.render()
+    );
+}
+
+#[test]
+fn stuck_hpa_is_caught_by_convergence() {
+    let cfg = CpConfig {
+        mutation: Mutation::StuckHpa,
+        ..staircase()
+    };
+    let cx = catch(cfg, "converges_to_target_replicas");
+    assert!(!cx.actions.is_empty());
+}
+
+#[test]
+fn missing_apply_clamp_reproduces_the_found_race() {
+    // The bug the checker found in the original handlers: a scale-down
+    // decided before a traffic step but delivered after it leaves fewer
+    // replicas than the stepped-up load needs. `clamp_scale_to_load` is
+    // the fix; removing it must resurface the race.
+    let cfg = CpConfig {
+        traffic: vec![vec![1], vec![2], vec![1], vec![2]],
+        max_ticks: 10,
+        mutation: Mutation::NoApplyClamp,
+        ..CpConfig::ci()
+    };
+    let cx = catch(cfg, "no_scale_down_below_capacity");
+    assert!(
+        cx.actions.len() <= 10,
+        "trace not minimized: {}",
+        cx.render()
+    );
+}
+
+#[test]
+fn minimized_counterexamples_replay_deterministically() {
+    let cfg = CpConfig {
+        mutation: Mutation::OverDrain,
+        ..staircase()
+    };
+    let mutation = cfg.mutation;
+    let model = control::ControlPlane::new(cfg);
+    let report = check(
+        &model,
+        &control::properties(),
+        Strategy::Bfs,
+        Bounds::default(),
+    );
+    let p = report
+        .properties
+        .iter()
+        .find(|p| p.counterexample.is_some())
+        .expect("mutation must produce a counterexample");
+    let cx = p.counterexample.as_ref().unwrap();
+    let replayed = replay(&model, &cx.actions).expect("trace must replay");
+    assert_eq!(
+        replayed, cx.end_state,
+        "{mutation:?} trace must replay to the recorded end state"
+    );
+    // The end state itself must violate the property.
+    let prop = control::properties()
+        .into_iter()
+        .find(|q| q.name == p.name)
+        .unwrap();
+    assert!(!(prop.check)(&model, &replayed));
+}
+
+#[test]
+fn dfs_agrees_with_bfs_on_verdicts() {
+    let cfg = CpConfig {
+        mutation: Mutation::StuckHpa,
+        ..staircase()
+    };
+    let model = control::ControlPlane::new(cfg);
+    let props = control::properties;
+    let bfs = check(&model, &props(), Strategy::Bfs, Bounds::default());
+    let dfs = check(&model, &props(), Strategy::Dfs, Bounds::default());
+    assert_eq!(bfs.states, dfs.states, "both must explore the full space");
+    for (b, d) in bfs.properties.iter().zip(dfs.properties.iter()) {
+        assert_eq!(
+            b.counterexample.is_some(),
+            d.counterexample.is_some(),
+            "verdict for {} must not depend on search order",
+            b.name
+        );
+    }
+}

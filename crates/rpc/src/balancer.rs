@@ -49,6 +49,16 @@ pub trait Balancer {
     fn on_complete(&mut self, replica: usize) {
         let _ = replica;
     }
+
+    /// Reports that the replica set was resized to `n` (scale-in or
+    /// scale-out). Load-aware balancers reconcile their counters here so a
+    /// scale-in followed by a scale-out *without an intervening pick* does
+    /// not leave fresh replicas charged for dead pods' in-flight requests —
+    /// the churn bug er-mc's counter-accuracy property caught. The default
+    /// implementation ignores it (stateless policies need no sync).
+    fn on_scale(&mut self, n: usize) {
+        let _ = n;
+    }
 }
 
 /// Round-robin selection, Linkerd's default behaviour for basic services.
@@ -78,9 +88,8 @@ impl RoundRobin {
 
 impl Balancer for RoundRobin {
     fn pick(&mut self, n: usize) -> usize {
-        assert!(n > 0, "cannot balance over zero replicas");
-        let choice = self.next % n;
-        self.next = (self.next + 1) % n;
+        let (next, choice) = crate::pure::round_robin_step(self.next, n);
+        self.next = next;
         choice
     }
 }
@@ -120,30 +129,18 @@ impl LeastOutstanding {
 impl Balancer for LeastOutstanding {
     fn pick(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot balance over zero replicas");
-        // Scale-in discards the dead replicas' counters: their in-flight
-        // requests died with the pods and will never complete, so a later
-        // scale-out must see fresh replicas at zero charge — not replicas
-        // permanently avoided for requests that can no longer finish.
-        self.outstanding.truncate(n);
-        if self.outstanding.len() < n {
-            self.outstanding.resize(n, 0);
-        }
-        // Scan for the minimum directly — ties break toward lower IDs, and
-        // unlike `min_by_key` there is no empty-range Option to unwrap.
-        let mut choice = 0;
-        for i in 1..n {
-            if self.outstanding[i] < self.outstanding[choice] {
-                choice = i;
-            }
-        }
-        self.outstanding[choice] += 1;
-        choice
+        // Re-sync on pick as well as on_scale: hardening for callers that
+        // resize the replica set without reporting it.
+        crate::pure::sync_outstanding(&mut self.outstanding, n);
+        crate::pure::pick_least(&mut self.outstanding)
     }
 
     fn on_complete(&mut self, replica: usize) {
-        if let Some(c) = self.outstanding.get_mut(replica) {
-            *c = c.saturating_sub(1);
-        }
+        crate::pure::complete(&mut self.outstanding, replica);
+    }
+
+    fn on_scale(&mut self, n: usize) {
+        crate::pure::sync_outstanding(&mut self.outstanding, n);
     }
 }
 
@@ -187,27 +184,21 @@ impl PowerOfTwoChoices {
 impl Balancer for PowerOfTwoChoices {
     fn pick(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot balance over zero replicas");
-        // Same scale-in hardening as LeastOutstanding: drop counters for
-        // replicas the autoscaler removed so revived IDs start at zero.
-        self.outstanding.truncate(n);
-        if self.outstanding.len() < n {
-            self.outstanding.resize(n, 0);
-        }
+        // Same pick-time hardening as LeastOutstanding. The RNG samples are
+        // the only impure input; the choice itself is the pure core, which
+        // er-mc drives with *enumerated* samples instead of drawn ones.
+        crate::pure::sync_outstanding(&mut self.outstanding, n);
         let a = self.rng.index(n);
         let b = self.rng.index(n);
-        let choice = if self.outstanding[a] <= self.outstanding[b] {
-            a
-        } else {
-            b
-        };
-        self.outstanding[choice] += 1;
-        choice
+        crate::pure::pick_between(&mut self.outstanding, a, b)
     }
 
     fn on_complete(&mut self, replica: usize) {
-        if let Some(c) = self.outstanding.get_mut(replica) {
-            *c = c.saturating_sub(1);
-        }
+        crate::pure::complete(&mut self.outstanding, replica);
+    }
+
+    fn on_scale(&mut self, n: usize) {
+        crate::pure::sync_outstanding(&mut self.outstanding, n);
     }
 }
 

@@ -26,6 +26,7 @@
 mod balancer;
 pub mod messages;
 mod network;
+pub mod pure;
 
 pub use balancer::{BalanceError, Balancer, LeastOutstanding, PowerOfTwoChoices, RoundRobin};
 pub use network::NetworkProfile;

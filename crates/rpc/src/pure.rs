@@ -1,0 +1,129 @@
+//! Pure balancer transition cores.
+//!
+//! Each function here is the single source of truth for one balancer
+//! decision: the stateful [`crate::Balancer`] implementations delegate to
+//! these, and the `er-mc` control-plane model replays the same functions
+//! over enumerated states — so the model cannot drift from the
+//! implementation. All functions are deterministic over their inputs (no
+//! clocks, no RNG, no ambient state); [`crate::PowerOfTwoChoices`] passes
+//! its two samples *in*, which is exactly what lets the model checker
+//! branch over them nondeterministically.
+
+/// One round-robin step over `n` replicas: returns `(next_cursor, choice)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn round_robin_step(next: usize, n: usize) -> (usize, usize) {
+    assert!(n > 0, "cannot balance over zero replicas");
+    let choice = next % n;
+    ((next + 1) % n, choice)
+}
+
+/// Reconciles outstanding counters with a replica set of size `n`: dead
+/// replicas' counters are discarded (their in-flight requests died with the
+/// pods and will never complete), and fresh replicas start at zero charge.
+pub fn sync_outstanding(outstanding: &mut Vec<u32>, n: usize) {
+    outstanding.truncate(n);
+    if outstanding.len() < n {
+        outstanding.resize(n, 0);
+    }
+}
+
+/// Least-outstanding choice over counters already synced to the replica
+/// count: the lowest-charged replica, ties breaking toward lower IDs.
+/// Charges the winner.
+///
+/// # Panics
+///
+/// Panics if `outstanding` is empty.
+#[must_use]
+pub fn pick_least(outstanding: &mut [u32]) -> usize {
+    assert!(!outstanding.is_empty(), "cannot balance over zero replicas");
+    // Scan for the minimum directly — ties break toward lower IDs, and
+    // unlike `min_by_key` there is no empty-range Option to unwrap.
+    let mut choice = 0;
+    for i in 1..outstanding.len() {
+        if outstanding[i] < outstanding[choice] {
+            choice = i;
+        }
+    }
+    outstanding[choice] += 1;
+    choice
+}
+
+/// Power-of-two choice between sampled replicas `a` and `b`: the
+/// less-charged of the two, ties keeping `a`. Charges the winner.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is out of range.
+#[must_use]
+pub fn pick_between(outstanding: &mut [u32], a: usize, b: usize) -> usize {
+    let choice = if outstanding[a] <= outstanding[b] {
+        a
+    } else {
+        b
+    };
+    outstanding[choice] += 1;
+    choice
+}
+
+/// A completion for `replica`: uncharges it. Completions from dead or
+/// unknown replicas are ignored — their counters were discarded at
+/// scale-in and must not go negative or resurrect.
+pub fn complete(outstanding: &mut [u32], replica: usize) {
+    if let Some(c) = outstanding.get_mut(replica) {
+        *c = c.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_step_cycles() {
+        let mut next = 0;
+        let mut picks = Vec::new();
+        for _ in 0..5 {
+            let (n2, c) = round_robin_step(next, 3);
+            next = n2;
+            picks.push(c);
+        }
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn sync_truncates_then_zero_fills() {
+        let mut c = vec![3, 1, 4, 1, 5];
+        sync_outstanding(&mut c, 2);
+        assert_eq!(c, vec![3, 1]);
+        sync_outstanding(&mut c, 4);
+        assert_eq!(c, vec![3, 1, 0, 0]);
+    }
+
+    #[test]
+    fn pick_least_breaks_ties_low_and_charges() {
+        let mut c = vec![1, 0, 0];
+        assert_eq!(pick_least(&mut c), 1);
+        assert_eq!(c, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn pick_between_prefers_a_on_ties() {
+        let mut c = vec![2, 2];
+        assert_eq!(pick_between(&mut c, 1, 0), 1);
+        assert_eq!(c, vec![2, 3]);
+    }
+
+    #[test]
+    fn complete_saturates_and_ignores_unknown() {
+        let mut c = vec![0, 1];
+        complete(&mut c, 0); // already zero: stays zero
+        complete(&mut c, 1);
+        complete(&mut c, 9); // unknown: ignored
+        assert_eq!(c, vec![0, 0]);
+    }
+}

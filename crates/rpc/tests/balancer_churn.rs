@@ -1,0 +1,104 @@
+//! Regression tests for the replica-churn stale-counter bug, committed as
+//! the minimized counterexample `er-mc` found for its counter-accuracy
+//! property (P3: balancer outstanding counters must equal the true
+//! in-flight count of every live replica).
+//!
+//! The bug: `LeastOutstanding`/`PowerOfTwoChoices` reconciled their
+//! counters with the replica set only *inside* `pick`. A scale-in followed
+//! by a scale-out with no pick in between therefore left the revived
+//! replica IDs charged for dead pods' in-flight requests — fresh pods were
+//! starved while phantom load "drained". The fix is the
+//! `Balancer::on_scale` hook: the control plane reports every resize and
+//! the balancer reconciles immediately.
+
+use er_rpc::{Balancer, LeastOutstanding, PowerOfTwoChoices};
+use er_sim::SimRng;
+
+/// The minimized er-mc trace, replayed verbatim:
+///
+/// 1. `Route×6` over 3 replicas — every replica carries 2 in-flight.
+/// 2. `Complete(0)`, `Complete(1)` — counters `[1, 1, 2]`.
+/// 3. `Scale(2)` — replica 2 dies with 2 requests in flight.
+/// 4. `Scale(3)` — a *fresh* replica 2 starts, before any pick happens.
+/// 5. `Route` — must go to the idle fresh replica, not a loaded survivor.
+///
+/// Before the fix, step 5 picked replica 0: the fresh pod inherited the
+/// dead pod's charge of 2 and was avoided until enough phantom load was
+/// "completed" at it.
+#[test]
+fn scale_in_then_out_without_pick_starts_fresh_replicas_at_zero() {
+    let mut lb = LeastOutstanding::new();
+    for _ in 0..6 {
+        lb.pick(3);
+    }
+    lb.on_complete(0);
+    lb.on_complete(1);
+    assert_eq!(
+        (lb.outstanding(0), lb.outstanding(1), lb.outstanding(2)),
+        (1, 1, 2)
+    );
+
+    lb.on_scale(2); // autoscaler kills replica 2 mid-flight
+    lb.on_scale(3); // ...and immediately revives a fresh replica 2
+
+    assert_eq!(
+        lb.outstanding(2),
+        0,
+        "fresh replica must not inherit a dead pod's in-flight charge"
+    );
+    assert_eq!(
+        lb.pick(3),
+        2,
+        "the idle fresh replica must win over loaded survivors"
+    );
+}
+
+/// Same trace through PowerOfTwoChoices: whatever pair the RNG samples,
+/// the fresh replica's counter must be zero after the churn.
+#[test]
+fn p2c_scale_in_then_out_without_pick_clears_dead_counters() {
+    let mut p2c = PowerOfTwoChoices::new(SimRng::seed_from(42));
+    for _ in 0..6 {
+        p2c.pick(3);
+    }
+    p2c.on_scale(2);
+    p2c.on_scale(3);
+    assert_eq!(p2c.outstanding(2), 0);
+}
+
+/// Completions arriving after a scale-in for requests that died with
+/// their pods must never drive a counter negative — the "no negative /
+/// stale counters" half of P3. With the counters already reconciled by
+/// `on_scale`, every late completion lands on a zero counter and
+/// saturates there.
+#[test]
+fn late_completions_after_churn_cannot_underflow_counters() {
+    let mut lb = LeastOutstanding::new();
+    for _ in 0..3 {
+        lb.pick(3);
+    }
+    lb.on_scale(1);
+    // Two late completions for pods killed above: both absorbed at zero.
+    lb.on_complete(1);
+    lb.on_complete(2);
+    lb.on_scale(3);
+    assert_eq!(
+        (lb.outstanding(0), lb.outstanding(1), lb.outstanding(2)),
+        (1, 0, 0),
+        "survivor keeps its charge; revived IDs start clean"
+    );
+}
+
+/// RoundRobin carries no per-replica state; on_scale is a no-op and the
+/// rotation stays in range across churn.
+#[test]
+fn round_robin_on_scale_is_harmless() {
+    let mut rr = er_rpc::RoundRobin::new();
+    for _ in 0..5 {
+        rr.pick(4);
+    }
+    rr.on_scale(2);
+    for _ in 0..4 {
+        assert!(rr.pick(2) < 2);
+    }
+}
