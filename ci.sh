@@ -31,9 +31,13 @@ run_stage() {
 
 # er-lint writes the machine-readable report to target/er-lint.json and a
 # per-rule summary row (rule=count) to stderr, which lands in the CI log.
+# The exit code follows ratchet semantics against er-lint-baseline.json:
+# per-rule counts may only decrease; any increase fails the stage and the
+# binary prints the tightened JSON to commit after fixing regressions.
 er_lint_json() {
     mkdir -p target
-    cargo run --release -q -p er-lint -- --format json . > target/er-lint.json
+    cargo run --release -q -p er-lint -- \
+        --format json --baseline er-lint-baseline.json . > target/er-lint.json
 }
 
 run_stage "fmt" cargo fmt --check
@@ -44,6 +48,10 @@ run_stage "er-lint" er_lint_json
 run_stage "er-lint self-check" cargo run --release -q -p er-lint -- --only crates/lint --only crates/units .
 # Every tests/fixtures/*_bad.rs must yield exactly its expected findings.
 run_stage "er-lint fixtures" cargo test -q -p er-lint --test rule_fixtures
+# The static hot_alloc proof and the dynamic counting-allocator test must
+# cover the same entry points (both drive forward_ws), and every entry in
+# er-lint.toml's hot_alloc_entries must still name a real function.
+run_stage "hot-alloc sync" cargo test -q -p er-lint --test hot_alloc_sync
 run_stage "build (tier-1)" cargo build --release
 run_stage "test (tier-1)" cargo test -q
 run_stage "test race-check" cargo test -q -p elasticrec --features race-check

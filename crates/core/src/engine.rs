@@ -276,7 +276,7 @@ impl Simulation {
         calib: &Calibration,
         cfg: &SimulationConfig,
     ) -> SimulationOutcome {
-        Engine::new(serving_plan, calib, cfg).run()
+        Engine::new(serving_plan, calib, cfg).event_loop()
     }
 }
 
@@ -735,7 +735,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self) -> SimulationOutcome {
+    fn event_loop(mut self) -> SimulationOutcome {
         self.schedule_arrival(0.0);
         // Drain the event queue; in-flight queries past the horizon still
         // complete so their latencies are counted.
@@ -743,12 +743,15 @@ impl<'a> Engine<'a> {
             let now = t.as_secs();
             match ev {
                 Event::Arrival => self.on_arrival(now),
+                // lint::allow(hot_alloc): cold failure-recovery path
                 Event::NodeFailure => self.on_node_failure(now),
                 Event::SparseArrive { qid, shard } => self.on_sparse_arrive(now, qid, shard),
                 Event::CoalesceFlush { shard } => self.on_coalesce_flush(now, shard),
                 Event::FanIn { qid } => self.on_fan_in(now, qid),
                 Event::TopDone { qid } => self.on_top_done(now, qid),
+                // lint::allow(hot_alloc): cold control-plane tick
                 Event::MetricsTick => self.on_metrics_tick(now),
+                // lint::allow(hot_alloc): cold control-plane tick
                 Event::HpaTick => self.on_hpa_tick(now),
             }
         }

@@ -331,6 +331,7 @@ impl ShardedDlrm {
         // Grow-only guard so a workspace built for a smaller model still
         // works; `resize` would re-allocate its template matrix every call.
         while ws.pooled.len() < tables {
+            // lint::allow(hot_alloc): grow-only, never runs at steady state
             ws.pooled.push(Matrix::zeros(1, 1));
         }
         for (t, lookup) in query.lookups.iter().enumerate() {

@@ -1,0 +1,171 @@
+//! The ratchet baseline: per-rule violation counts that may only go down.
+//!
+//! `er-lint-baseline.json` at the workspace root records, per rule, how
+//! many violations the workspace is currently allowed to carry. CI runs
+//! the workspace pass with `--baseline er-lint-baseline.json`:
+//!
+//! * any rule whose current count **exceeds** its baselined count fails
+//!   the run, printing the offending rules and the JSON for the *current*
+//!   counts (never to be committed as-is — fix the regressions instead);
+//! * any rule whose count **dropped** prints a reminder to tighten the
+//!   committed baseline (the suggested JSON is the tightened one), but
+//!   passes — the ratchet only turns one way, and it turns by committing
+//!   the lower number.
+//!
+//! The file is a flat JSON object, `{"rule": count, ...}`; rules absent
+//! from it default to 0, unknown rule names are an error (a typo would
+//! otherwise silently stop ratcheting that rule).
+
+use std::collections::BTreeMap;
+
+use crate::rules::{Diagnostic, RULES};
+
+/// Per-rule count map in stable rule order.
+pub type Counts = BTreeMap<&'static str, usize>;
+
+/// Counts the diagnostics per rule, every known rule present.
+pub fn count_by_rule(diags: &[Diagnostic]) -> Counts {
+    let mut counts: Counts = RULES.iter().map(|r| (*r, 0)).collect();
+    for d in diags {
+        *counts.entry(d.rule).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Parses the flat `{"rule": count}` JSON object.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON or unknown rule names.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("baseline: expected a JSON object {\"rule\": count, ...}")?;
+    let mut counts: Counts = RULES.iter().map(|r| (*r, 0)).collect();
+    for pair in body.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("baseline: expected `\"rule\": count`, got `{pair}`"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("baseline: rule name must be quoted in `{pair}`"))?;
+        let rule = RULES.iter().find(|r| **r == key).ok_or_else(|| {
+            format!(
+                "baseline: unknown rule `{key}` (known: {})",
+                RULES.join(", ")
+            )
+        })?;
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("baseline: count for `{key}` is not a number"))?;
+        counts.insert(rule, value);
+    }
+    Ok(counts)
+}
+
+/// Renders counts as the canonical committed format: one rule per line,
+/// stable RULES order, zeros included (an explicit zero is the ratchet's
+/// strongest claim).
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from("{\n");
+    for (i, rule) in RULES.iter().enumerate() {
+        let n = counts.get(rule).copied().unwrap_or(0);
+        out.push_str(&format!("  \"{rule}\": {n}"));
+        out.push_str(if i + 1 < RULES.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The ratchet verdict for one comparison.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every rule at or below its baseline, none below: nothing to do.
+    Clean,
+    /// Some rules dropped below baseline: pass, but suggest tightening.
+    Tighten(Vec<String>),
+    /// Some rules exceed baseline: fail.
+    Regressed(Vec<String>),
+}
+
+/// Compares current counts to the baseline. Regressions dominate the
+/// verdict; improvements are listed for the tightening reminder.
+pub fn compare(current: &Counts, baseline: &Counts) -> Verdict {
+    let mut regressed = Vec::new();
+    let mut improved = Vec::new();
+    for rule in RULES {
+        let cur = current.get(rule).copied().unwrap_or(0);
+        let base = baseline.get(rule).copied().unwrap_or(0);
+        if cur > base {
+            regressed.push(format!("{rule}: {base} -> {cur}"));
+        } else if cur < base {
+            improved.push(format!("{rule}: {base} -> {cur}"));
+        }
+    }
+    if !regressed.is_empty() {
+        Verdict::Regressed(regressed)
+    } else if !improved.is_empty() {
+        Verdict::Tighten(improved)
+    } else {
+        Verdict::Clean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&'static str, usize)]) -> Counts {
+        let mut c: Counts = RULES.iter().map(|r| (*r, 0)).collect();
+        for (r, n) in pairs {
+            c.insert(r, *n);
+        }
+        c
+    }
+
+    #[test]
+    fn parse_and_render_roundtrip() {
+        let c = counts(&[("no_panic", 3), ("hot_alloc", 1)]);
+        let parsed = parse(&render(&c)).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn unknown_rules_and_malformed_input_are_errors() {
+        assert!(parse("{\"no_such\": 1}")
+            .unwrap_err()
+            .contains("unknown rule"));
+        assert!(parse("not json").is_err());
+        assert!(parse("{\"no_panic\": x}").is_err());
+    }
+
+    #[test]
+    fn missing_rules_default_to_zero() {
+        let parsed = parse("{\"no_panic\": 2}").unwrap();
+        assert_eq!(parsed.get("no_panic"), Some(&2));
+        assert_eq!(parsed.get("hot_alloc"), Some(&0));
+    }
+
+    #[test]
+    fn ratchet_fails_on_increase_passes_on_decrease() {
+        let base = counts(&[("no_panic", 2)]);
+        assert_eq!(compare(&counts(&[("no_panic", 2)]), &base), Verdict::Clean);
+        match compare(&counts(&[("no_panic", 3)]), &base) {
+            Verdict::Regressed(lines) => assert_eq!(lines, vec!["no_panic: 2 -> 3"]),
+            other => panic!("expected Regressed, got {other:?}"),
+        }
+        match compare(&counts(&[("no_panic", 1)]), &base) {
+            Verdict::Tighten(lines) => assert_eq!(lines, vec!["no_panic: 2 -> 1"]),
+            other => panic!("expected Tighten, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Incremental fact cache: replay [`FileFacts`] for unchanged files.
+//!
+//! The workspace pass re-lexes ~200 files on every ci.sh run; almost all
+//! of them are unchanged between runs. Facts are a pure function of
+//! `(path, content, config)`, so the cache keys each file by an FNV-1a
+//! hash of its content, and the whole cache by a hash of the config — any
+//! config edit invalidates everything, any file edit invalidates that
+//! file.
+//!
+//! The format is a plain line-oriented text file (`target/er-lint-cache`)
+//! with a versioned header; a malformed or version-skewed cache is simply
+//! ignored (the pass falls back to extraction), never an error. Fields
+//! that can contain arbitrary text (messages, paths) are escaped; the
+//! schema mirrors [`FileFacts`] one record per line:
+//!
+//! ```text
+//! er-lint-cache v1 <config-hash>
+//! F <content-hash> <path>
+//! N <line> <is_pub> <name>            function (sites/calls attach to it)
+//! S <kind> <line> <col> <sup> <what>  site of the last N
+//! C <line> <col> <m> <hot> <path>     call of the last N (`a::b` segments)
+//! I <is_pub> <alias|*> <path>         import
+//! M <line> <col> <rule>               marker
+//! D <line> <col> <rule> <message>     pre-suppression per-file diagnostic
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::facts::{CallRef, FileFacts, FnFact, Import, MarkerFact, Site, SiteKind};
+use crate::rules::{Diagnostic, RULES};
+
+/// FNV-1a 64-bit, the workspace's stock dependency-free hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Escapes a free-text field: spaces survive (fields are space-split with
+/// a bounded count), newlines and backslashes do not.
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// A loaded cache: per-path content hash and replayable facts.
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: BTreeMap<String, (u64, FileFacts)>,
+}
+
+impl Cache {
+    /// Loads the cache from `text`, discarding it wholesale when the
+    /// version or config hash differs.
+    pub fn load(text: &str, config_hash: u64) -> Self {
+        let mut lines = text.lines();
+        let Some(header) = lines.next() else {
+            return Self::default();
+        };
+        let mut hp = header.split(' ');
+        if hp.next() != Some("er-lint-cache")
+            || hp.next() != Some("v1")
+            || hp.next().and_then(|h| h.parse::<u64>().ok()) != Some(config_hash)
+        {
+            return Self::default();
+        }
+        let mut cache = Self::default();
+        let mut cur: Option<(String, u64, FileFacts)> = None;
+        for line in lines {
+            let Some((tag, rest)) = line.split_once(' ') else {
+                continue;
+            };
+            if tag == "F" {
+                if let Some((path, hash, facts)) = cur.take() {
+                    cache.entries.insert(path, (hash, facts));
+                }
+                let Some((hash, path)) = rest.split_once(' ') else {
+                    continue;
+                };
+                let Ok(hash) = hash.parse::<u64>() else {
+                    continue;
+                };
+                let path = unesc(path);
+                cur = Some((
+                    path.clone(),
+                    hash,
+                    FileFacts {
+                        path,
+                        ..FileFacts::default()
+                    },
+                ));
+                continue;
+            }
+            let Some((_, _, facts)) = cur.as_mut() else {
+                continue;
+            };
+            if parse_record(tag, rest, facts).is_none() {
+                // One malformed record poisons the whole load: a partial
+                // fact set would silently drop diagnostics.
+                return Self::default();
+            }
+        }
+        if let Some((path, hash, facts)) = cur.take() {
+            cache.entries.insert(path, (hash, facts));
+        }
+        cache
+    }
+
+    /// Replayed facts for `path` when the cached content hash matches.
+    pub fn get(&self, path: &str, content_hash: u64) -> Option<&FileFacts> {
+        self.entries
+            .get(path)
+            .filter(|(h, _)| *h == content_hash)
+            .map(|(_, f)| f)
+    }
+
+    /// Serializes facts for the next run.
+    pub fn render(files: &[(u64, &FileFacts)], config_hash: u64) -> String {
+        let mut out = format!("er-lint-cache v1 {config_hash}\n");
+        for (hash, f) in files {
+            out.push_str(&format!("F {hash} "));
+            esc(&f.path, &mut out);
+            out.push('\n');
+            for imp in &f.imports {
+                out.push_str(&format!(
+                    "I {} {} {}\n",
+                    u8::from(imp.is_pub),
+                    imp.alias.as_deref().unwrap_or("*"),
+                    imp.path.join("::")
+                ));
+            }
+            for m in &f.markers {
+                out.push_str(&format!("M {} {} {}\n", m.line, m.col, m.rule));
+            }
+            for d in &f.diags {
+                out.push_str(&format!("D {} {} {} ", d.line, d.col, d.rule));
+                esc(&d.message, &mut out);
+                out.push('\n');
+            }
+            for func in &f.fns {
+                out.push_str(&format!("N {} {} ", func.line, u8::from(func.is_pub)));
+                esc(&func.name, &mut out);
+                out.push('\n');
+                for s in &func.sites {
+                    let kind = match s.kind {
+                        SiteKind::Panic => 'P',
+                        SiteKind::Alloc => 'A',
+                        SiteKind::Impure => 'I',
+                    };
+                    out.push_str(&format!(
+                        "S {kind} {} {} {} ",
+                        s.line,
+                        s.col,
+                        u8::from(s.suppressed)
+                    ));
+                    esc(&s.what, &mut out);
+                    out.push('\n');
+                }
+                for c in &func.calls {
+                    out.push_str(&format!(
+                        "C {} {} {} {} {}\n",
+                        c.line,
+                        c.col,
+                        u8::from(c.method),
+                        u8::from(c.hot_suppressed),
+                        c.path.join("::")
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parses one non-`F` record into the current file. `None` on malformed
+/// input.
+fn parse_record(tag: &str, rest: &str, facts: &mut FileFacts) -> Option<()> {
+    match tag {
+        "I" => {
+            let mut p = rest.splitn(3, ' ');
+            let is_pub = p.next()? == "1";
+            let alias = p.next()?;
+            let path: Vec<String> = p.next()?.split("::").map(str::to_string).collect();
+            facts.imports.push(Import {
+                is_pub,
+                path,
+                alias: (alias != "*").then(|| alias.to_string()),
+            });
+        }
+        "M" => {
+            let mut p = rest.splitn(3, ' ');
+            facts.markers.push(MarkerFact {
+                line: p.next()?.parse().ok()?,
+                col: p.next()?.parse().ok()?,
+                rule: p.next()?.to_string(),
+            });
+        }
+        "D" => {
+            let mut p = rest.splitn(4, ' ');
+            let line = p.next()?.parse().ok()?;
+            let col = p.next()?.parse().ok()?;
+            let rule_name = p.next()?;
+            // `Diagnostic.rule` is `&'static str`: intern via the RULES
+            // table; an unknown rule means a format skew — reject.
+            let rule = RULES.iter().find(|r| **r == rule_name)?;
+            facts.diags.push(Diagnostic {
+                path: facts.path.clone(),
+                line,
+                col,
+                rule,
+                message: unesc(p.next()?),
+                chain: Vec::new(),
+            });
+        }
+        "N" => {
+            let mut p = rest.splitn(3, ' ');
+            facts.fns.push(FnFact {
+                line: p.next()?.parse().ok()?,
+                is_pub: p.next()? == "1",
+                name: unesc(p.next()?),
+                sites: Vec::new(),
+                calls: Vec::new(),
+            });
+        }
+        "S" => {
+            let mut p = rest.splitn(5, ' ');
+            let kind = match p.next()? {
+                "P" => SiteKind::Panic,
+                "A" => SiteKind::Alloc,
+                "I" => SiteKind::Impure,
+                _ => return None,
+            };
+            let site = Site {
+                kind,
+                line: p.next()?.parse().ok()?,
+                col: p.next()?.parse().ok()?,
+                suppressed: p.next()? == "1",
+                what: unesc(p.next()?),
+            };
+            facts.fns.last_mut()?.sites.push(site);
+        }
+        "C" => {
+            let mut p = rest.splitn(5, ' ');
+            let call = CallRef {
+                line: p.next()?.parse().ok()?,
+                col: p.next()?.parse().ok()?,
+                method: p.next()? == "1",
+                hot_suppressed: p.next()? == "1",
+                path: p.next()?.split("::").map(str::to_string).collect(),
+            };
+            facts.fns.last_mut()?.calls.push(call);
+        }
+        _ => return None,
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::facts::extract_facts;
+    use crate::rules::FileContext;
+
+    #[test]
+    fn roundtrip_preserves_facts_and_diagnostics() {
+        let src = "\
+use er_tensor::gather::gather_pool_csr as gpc;
+// lint::allow(no_panic): upstream invariant
+pub fn serve(x: Option<u32>) -> u32 {
+    let t = Instant::now();
+    let v = vec![0u32; 2];
+    let _ = (t, v);
+    gpc();
+    x.unwrap()
+}
+";
+        let cfg = Config::default();
+        let path = "crates/sim/src/probe.rs";
+        let facts = extract_facts(&FileContext::new(path, src), &cfg);
+        assert!(!facts.fns.is_empty());
+        assert!(!facts.diags.is_empty(), "wall_clock should pre-fire");
+
+        let src_hash = fnv1a(src.as_bytes());
+        let rendered = Cache::render(&[(src_hash, &facts)], 42);
+        let cache = Cache::load(&rendered, 42);
+        let replayed = cache.get(path, src_hash).expect("hash matches");
+        assert_eq!(format!("{facts:?}"), format!("{replayed:?}"));
+    }
+
+    #[test]
+    fn config_or_content_skew_misses_cleanly() {
+        let src = "pub fn f() {}";
+        let cfg = Config::default();
+        let facts = extract_facts(&FileContext::new("crates/core/src/a.rs", src), &cfg);
+        let h = fnv1a(src.as_bytes());
+        let rendered = Cache::render(&[(h, &facts)], 1);
+        assert!(Cache::load(&rendered, 2)
+            .get("crates/core/src/a.rs", h)
+            .is_none());
+        assert!(Cache::load(&rendered, 1)
+            .get("crates/core/src/a.rs", h + 1)
+            .is_none());
+        assert!(Cache::load("garbage", 1)
+            .get("crates/core/src/a.rs", h)
+            .is_none());
+    }
+}

@@ -34,6 +34,14 @@ pub struct Config {
     pub handlers: Vec<String>,
     /// Paths the workspace walk skips entirely.
     pub skip: Vec<String>,
+    /// Entry points of the warm serving fast path for the `hot_alloc`
+    /// rule: functions statically proven to reach no allocation site.
+    /// Each entry is a bare fn name (`forward_ws`, matching every fn of
+    /// that name) or `path.rs::name` to pin one definition
+    /// (`crates/core/src/engine.rs::event_loop`). The list mirrors what
+    /// the dynamic `alloc-count` test drives (see `zero_alloc.rs`); the
+    /// `hot_alloc_sync` test keeps the two in lockstep.
+    pub hot_alloc_entries: Vec<String>,
 }
 
 impl Default for Config {
@@ -71,6 +79,18 @@ impl Default for Config {
                 "crates/mc/src/report.rs",
             ]),
             skip: strs(&["vendor", "target", ".git", "crates/lint/tests/fixtures"]),
+            hot_alloc_entries: strs(&[
+                "forward_ws",
+                "crates/core/src/engine.rs::event_loop",
+                "bucketize_into",
+                "gather_pool_into",
+                "dot_interaction_into",
+                "forward_into",
+                "matmul_blocked_into",
+                "gather_pool_csr",
+                "gather_pool_csr_f16",
+                "gather_pool_csr_i8",
+            ]),
         }
     }
 }
@@ -110,6 +130,7 @@ impl Config {
                 "units" => cfg.units = items,
                 "handlers" => cfg.handlers = items,
                 "skip" => cfg.skip = items,
+                "hot_alloc_entries" => cfg.hot_alloc_entries = items,
                 other => {
                     return Err(format!(
                         "er-lint.toml line {}: unknown key `{other}`",

@@ -1,286 +1,326 @@
-//! Phase 2: symbol table, intra-crate call graph, and graph-aware rules.
+//! Phase 3: whole-workspace call-graph passes.
 //!
-//! The per-file rules in [`crate::rules`] see one token stream at a time;
-//! this module sees the whole workspace. It extracts every function
-//! definition (name, visibility, file, crate), records each function's
-//! outgoing calls and panic sites, and links calls *by name within a
-//! crate* — a deliberate over-approximation (no type resolution, so two
-//! same-named functions in one crate both receive the edge) that errs on
-//! the side of reporting.
+//! Phase 2 linked calls by name within a crate; this phase builds one
+//! inter-crate graph from the resolved imports ([`crate::resolve`]) and
+//! runs four passes over it:
 //!
-//! On top of the graph, `no_panic` is upgraded from "a panic token exists
-//! in this serving file" to "a panic site is *reachable through calls*
-//! from a public function in a serving-scope file". A multi-source BFS
-//! from all such roots yields a shortest call chain per reachable panic
-//! site, reported in the diagnostic (`serve -> helper -> inner`) so the
-//! reader sees how the hot path gets there, not just where it lands.
+//! * **`no_panic`** — a panic site is reported when it is *reachable
+//!   through calls* from a `pub fn` in a serving-scope file, now across
+//!   crate boundaries (`rpc → cluster → tensor`). The diagnostic carries
+//!   the shortest call chain, crate-qualified where it crosses crates
+//!   (`serve -> er_cluster::choose -> er_tensor::probe`).
+//! * **`hot_alloc`** — the warm serving fast path (the entry list in
+//!   `er-lint.toml`, kept in sync with the dynamic `alloc-count` test)
+//!   must reach no allocation site. A `lint::allow(hot_alloc)` marker on
+//!   a *call* severs that edge (blessing a cold grow-only guard); on an
+//!   allocation site it blesses the site itself.
+//! * **transitive `impure_handler`** — purity propagates through the
+//!   graph: a pure handler calling a helper in another file or crate that
+//!   reads ambient inputs is flagged at the helper's site, chain attached.
+//! * **`unused_allow`** — a `lint::allow(rule)` marker that no longer
+//!   suppresses any diagnostic or site rots silently after refactors;
+//!   report it (and unknown rule names) so markers stay honest.
 //!
-//! [`check_workspace`] is the binary's entry point: per-file rules (minus
-//! the token-level `no_panic` scan) plus the graph pass, sorted into one
-//! deterministic diagnostic stream.
+//! [`check_workspace`] lexes and extracts in-process;
+//! [`check_workspace_facts`] is the cache-friendly entry point the binary
+//! uses (facts replay from `target/er-lint-cache` when file hashes match).
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::config::Config;
-use crate::lexer::TokenKind;
-use crate::rules::{check_file_inner, is_test_or_tool_path, Diagnostic, FileContext};
+use crate::facts::{extract_facts, FileFacts, SiteKind};
+use crate::resolve::{crate_display, Workspace};
+use crate::rules::{is_test_or_tool_path, Diagnostic, FileContext, RULES};
 
-/// Tokens that look like `name(` without being calls.
-const NON_CALL_KEYWORDS: [&str; 14] = [
-    "if", "while", "for", "match", "return", "loop", "fn", "as", "in", "move", "let", "else",
-    "break", "continue",
-];
-
-/// A `.unwrap()` / `.expect(..)` / `panic!`-family site inside a function
-/// body.
-#[derive(Debug, Clone)]
-struct PanicSite {
-    line: u32,
-    col: u32,
-    /// What the site spells, for the message (`` `.unwrap()` ``).
-    what: String,
-    /// Blessed by a `lint::allow(no_panic)` marker at the site.
-    suppressed: bool,
+/// Lints the workspace as one unit: every per-file rule plus the four
+/// call-graph passes, in one deterministically sorted stream.
+pub fn check_workspace(files: &[FileContext<'_>], cfg: &Config) -> Vec<Diagnostic> {
+    let facts: Vec<FileFacts> = files.iter().map(|ctx| extract_facts(ctx, cfg)).collect();
+    check_workspace_facts(&facts, cfg)
 }
 
-/// One function definition with its outgoing edges and panic sites.
-#[derive(Debug, Clone)]
-struct FnInfo {
-    name: String,
-    /// Workspace-relative file holding the definition.
-    path: String,
-    /// Crate the file belongs to (`crates/<name>/..` prefix).
-    krate: String,
-    /// Declared with a bare `pub` (scoped `pub(..)` counts as private).
-    is_pub: bool,
-    /// Names this function calls (free calls and method calls alike).
-    calls: BTreeSet<String>,
-    panics: Vec<PanicSite>,
-}
-
-/// Which crate a workspace-relative path belongs to, for intra-crate call
-/// linking. Top-level `src/`, `tests/`, etc. form one "workspace-root"
-/// crate.
-fn crate_of(path: &str) -> String {
-    path.strip_prefix("crates/")
-        .and_then(|rest| rest.split('/').next())
-        .unwrap_or("workspace-root")
-        .to_string()
-}
-
-/// True when the token before the `fn` keyword at `fn_ci` (skipping
-/// `const`/`async`/`unsafe`/`extern "abi"` qualifiers) is a bare `pub`.
-/// `pub(crate)`/`pub(super)` end on `)` and correctly read as private.
-fn is_pub_fn(ctx: &FileContext<'_>, fn_ci: usize) -> bool {
-    let mut j = fn_ci;
-    while j >= 1 {
-        let prev_kind = ctx.kind(j - 1);
-        let qualifier = prev_kind == TokenKind::Literal
-            || (prev_kind == TokenKind::Ident
-                && matches!(ctx.text(j - 1), "const" | "async" | "unsafe" | "extern"));
-        if !qualifier {
-            break;
-        }
-        j -= 1;
+/// The fact-level entry point: identical output to [`check_workspace`],
+/// but consumable from cached [`FileFacts`] without re-lexing.
+pub fn check_workspace_facts(facts: &[FileFacts], cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in facts {
+        out.extend(
+            f.diags
+                .iter()
+                .filter(|d| !f.suppressed(d.line, d.rule))
+                .cloned(),
+        );
     }
-    j >= 1 && ctx.is_ident(j - 1, "pub")
+    let ws = Workspace::build(facts);
+    no_panic_pass(&ws, cfg, &mut out);
+    hot_alloc_pass(&ws, cfg, &mut out);
+    impure_pass(&ws, cfg, &mut out);
+    unused_allow_pass(facts, &mut out);
+    out.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    out
 }
 
-/// Extracts every function defined in `ctx`: a single pass over the code
-/// tokens tracking brace depth and a stack of open function bodies, so
-/// calls and panic sites land on the innermost enclosing function.
-/// `#[cfg(test)]` functions are dropped entirely.
-fn extract_fns(ctx: &FileContext<'_>) -> Vec<FnInfo> {
-    let n = ctx.code.len();
-    let krate = crate_of(&ctx.path);
-    let mut fns: Vec<FnInfo> = Vec::new();
-    let mut test_fn: Vec<bool> = Vec::new();
-    // (index into `fns`, brace depth of the body's opening `{`).
-    let mut stack: Vec<(usize, u32)> = Vec::new();
-    // A declared fn whose body `{` has not opened yet, with the paren
-    // depth accumulated since the declaration (the body brace sits at
-    // paren depth 0; a `;` there instead means a bodyless trait method).
-    let mut pending: Option<usize> = None;
-    let mut pending_paren: u32 = 0;
-    let mut depth: u32 = 0;
-
-    for ci in 0..n {
-        match ctx.kind(ci) {
-            TokenKind::Punct('(') if pending.is_some() => pending_paren += 1,
-            TokenKind::Punct(')') if pending.is_some() => {
-                pending_paren = pending_paren.saturating_sub(1);
-            }
-            TokenKind::Punct('{') => {
-                depth += 1;
-                if pending_paren == 0 {
-                    if let Some(fi) = pending.take() {
-                        stack.push((fi, depth));
-                    }
-                }
-            }
-            TokenKind::Punct('}') => {
-                if stack.last().is_some_and(|&(_, d)| d == depth) {
-                    stack.pop();
-                }
-                depth = depth.saturating_sub(1);
-            }
-            TokenKind::Punct(';') if pending_paren == 0 => pending = None,
-            _ => {}
-        }
-
-        // A new definition: `fn name` (a `fn(..)` pointer type has no
-        // name ident and falls through).
-        if ctx.is_ident(ci, "fn") && ci + 1 < n && ctx.kind(ci + 1) == TokenKind::Ident {
-            fns.push(FnInfo {
-                name: ctx.text(ci + 1).to_string(),
-                path: ctx.path.clone(),
-                krate: krate.clone(),
-                is_pub: is_pub_fn(ctx, ci),
-                calls: BTreeSet::new(),
-                panics: Vec::new(),
-            });
-            test_fn.push(ctx.is_test_token(ci));
-            pending = Some(fns.len() - 1);
-            pending_paren = 0;
-            continue;
-        }
-
-        let Some(&(cur, _)) = stack.last() else {
-            continue;
-        };
-        if ctx.is_test_token(ci) || ctx.kind(ci) != TokenKind::Ident {
-            continue;
-        }
-        let t = ctx.text(ci);
-        let next_is = |k: TokenKind| ci + 1 < n && ctx.kind(ci + 1) == k;
-        if (t == "unwrap" || t == "expect")
-            && ci >= 1
-            && ctx.kind(ci - 1) == TokenKind::Punct('.')
-            && next_is(TokenKind::Punct('('))
-        {
-            let tok = ctx.tok(ci);
-            fns[cur].panics.push(PanicSite {
-                line: tok.line,
-                col: tok.col,
-                what: format!("`.{t}()`"),
-                suppressed: ctx.suppressed(tok.line, "no_panic"),
-            });
-            continue;
-        }
-        if (t == "panic" || t == "todo" || t == "unimplemented") && next_is(TokenKind::Punct('!')) {
-            let tok = ctx.tok(ci);
-            fns[cur].panics.push(PanicSite {
-                line: tok.line,
-                col: tok.col,
-                what: format!("`{t}!`"),
-                suppressed: ctx.suppressed(tok.line, "no_panic"),
-            });
-            continue;
-        }
-        // A call: `name(..)` or `.name(..)`, but not `name!(..)` macros
-        // and not the name in a nested `fn name(` definition.
-        if next_is(TokenKind::Punct('('))
-            && !NON_CALL_KEYWORDS.contains(&t)
-            && !(ci >= 1 && ctx.is_ident(ci - 1, "fn"))
-        {
-            fns[cur].calls.insert(t.to_string());
+/// Multi-source BFS over the workspace graph, keeping parent pointers for
+/// shortest-chain reconstruction. With `hot` set, call edges blessed by a
+/// `lint::allow(hot_alloc)` marker are not followed.
+fn bfs(ws: &Workspace<'_>, roots: &[usize], hot: bool) -> (Vec<bool>, Vec<Option<usize>>) {
+    let n = ws.nodes.len();
+    let mut visited = vec![false; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    for &r in roots {
+        if !visited[r] {
+            visited[r] = true;
+            queue.push_back(r);
         }
     }
+    while let Some(i) = queue.pop_front() {
+        for e in &ws.edges[i] {
+            if hot && e.hot_suppressed {
+                continue;
+            }
+            if !visited[e.to] {
+                visited[e.to] = true;
+                parent[e.to] = Some(i);
+                queue.push_back(e.to);
+            }
+        }
+    }
+    (visited, parent)
+}
 
-    fns.into_iter()
-        .zip(test_fn)
-        .filter(|(_, in_test)| !in_test)
-        .map(|(f, _)| f)
+/// The shortest call chain ending at `ni`, crate-qualified relative to
+/// the chain's root (`serve -> er_tensor::probe_len`).
+fn chain_to(ws: &Workspace<'_>, parent: &[Option<usize>], ni: usize) -> Vec<String> {
+    let mut idxs = vec![ni];
+    let mut at = ni;
+    while let Some(p) = parent[at] {
+        idxs.push(p);
+        at = p;
+    }
+    idxs.reverse();
+    let root_crate = ws.nodes[idxs[0]].krate.clone();
+    idxs.iter()
+        .map(|&i| {
+            let name = ws.func(i).name.clone();
+            if ws.nodes[i].krate == root_crate {
+                name
+            } else {
+                format!("{}::{name}", crate_display(&ws.nodes[i].krate))
+            }
+        })
         .collect()
 }
 
-/// Graph-aware `no_panic`: reports every unsuppressed panic site reachable
-/// through intra-crate calls from a `pub fn` defined in a serving-scope
-/// file, with the shortest call chain from that entry point.
-fn reachable_panics(files: &[FileContext<'_>], cfg: &Config) -> Vec<Diagnostic> {
-    let mut per_crate: BTreeMap<String, Vec<FnInfo>> = BTreeMap::new();
-    for ctx in files {
-        if is_test_or_tool_path(&ctx.path) {
-            continue;
-        }
-        for f in extract_fns(ctx) {
-            per_crate.entry(f.krate.clone()).or_default().push(f);
-        }
-    }
-
-    let mut out = Vec::new();
-    for fns in per_crate.values_mut() {
-        // Deterministic node order regardless of input file order.
-        fns.sort_by(|a, b| (&a.path, &a.name).cmp(&(&b.path, &b.name)));
-        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-        for (i, f) in fns.iter().enumerate() {
-            by_name.entry(&f.name).or_default().push(i);
-        }
-
-        // Multi-source BFS from the public serving entry points, keeping
-        // parent pointers for shortest-chain reconstruction.
-        let mut parent: Vec<Option<usize>> = vec![None; fns.len()];
-        let mut visited = vec![false; fns.len()];
-        let mut queue = VecDeque::new();
-        for (i, f) in fns.iter().enumerate() {
-            if f.is_pub && Config::in_paths(&f.path, &cfg.serving) {
-                visited[i] = true;
-                queue.push_back(i);
-            }
-        }
-        while let Some(i) = queue.pop_front() {
-            for callee in &fns[i].calls {
-                for &j in by_name.get(callee.as_str()).into_iter().flatten() {
-                    if !visited[j] {
-                        visited[j] = true;
-                        parent[j] = Some(i);
-                        queue.push_back(j);
-                    }
-                }
-            }
-        }
-
-        for (i, f) in fns.iter().enumerate() {
-            if !visited[i] {
+/// Graph `no_panic`: unsuppressed panic sites reachable from a `pub fn`
+/// defined in a serving-scope file, across crate boundaries.
+fn no_panic_pass(ws: &Workspace<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let roots: Vec<usize> = (0..ws.nodes.len())
+        .filter(|&i| ws.func(i).is_pub && Config::in_paths(&ws.file(i).path, &cfg.serving))
+        .collect();
+    let (visited, parent) = bfs(ws, &roots, false);
+    for (i, _) in visited.iter().enumerate().filter(|(_, v)| **v) {
+        let chain = chain_to(ws, &parent, i);
+        let via = chain.join(" -> ");
+        let root = chain[0].clone();
+        for site in ws.func(i).sites.iter() {
+            if site.kind != SiteKind::Panic || site.suppressed {
                 continue;
             }
-            let mut chain = vec![f.name.clone()];
-            let mut at = i;
-            while let Some(p) = parent[at] {
-                chain.push(fns[p].name.clone());
-                at = p;
+            out.push(Diagnostic {
+                path: ws.file(i).path.clone(),
+                line: site.line,
+                col: site.col,
+                rule: "no_panic",
+                message: format!(
+                    "{} can panic and is reachable from public serving fn `{root}` via {via}; return a typed error up the chain, or add `// lint::allow(no_panic): <invariant>` at the site",
+                    site.what
+                ),
+                chain: chain.clone(),
+            });
+        }
+    }
+}
+
+/// Static allocation-freedom of the warm serving fast path.
+fn hot_alloc_pass(ws: &Workspace<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let roots = hot_entry_nodes(ws, cfg);
+    let (visited, parent) = bfs(ws, &roots, true);
+    for (i, _) in visited.iter().enumerate().filter(|(_, v)| **v) {
+        let chain = chain_to(ws, &parent, i);
+        let via = chain.join(" -> ");
+        let root = chain[0].clone();
+        for site in ws.func(i).sites.iter() {
+            if site.kind != SiteKind::Alloc || site.suppressed {
+                continue;
             }
-            chain.reverse();
-            let root = chain[0].clone();
-            let via = chain.join(" -> ");
-            for site in f.panics.iter().filter(|s| !s.suppressed) {
+            out.push(Diagnostic {
+                path: ws.file(i).path.clone(),
+                line: site.line,
+                col: site.col,
+                rule: "hot_alloc",
+                message: format!(
+                    "{} allocates and is reachable from hot entry `{root}` via {via}; the warm fast path must reuse workspace buffers — hoist the allocation into setup, or bless a grow-only guard with `// lint::allow(hot_alloc): <reason>`",
+                    site.what
+                ),
+                chain: chain.clone(),
+            });
+        }
+    }
+}
+
+/// The node indices the `hot_alloc_entries` config names. Each entry is a
+/// bare fn name or `path.rs::name`.
+fn hot_entry_nodes(ws: &Workspace<'_>, cfg: &Config) -> Vec<usize> {
+    let mut roots = Vec::new();
+    for entry in &cfg.hot_alloc_entries {
+        roots.extend(match_entry(ws, entry));
+    }
+    roots.sort_unstable();
+    roots.dedup();
+    roots
+}
+
+/// Nodes matching one entry spec.
+fn match_entry(ws: &Workspace<'_>, entry: &str) -> Vec<usize> {
+    if let Some((path, name)) = entry.split_once("::") {
+        (0..ws.nodes.len())
+            .filter(|&i| ws.file(i).path == path && ws.func(i).name == name)
+            .collect()
+    } else {
+        ws.nodes_named(entry)
+    }
+}
+
+/// Config-drift check for the binary: `hot_alloc_entries` entries that
+/// match no function in the scanned workspace. Kept out of
+/// [`check_workspace_facts`] so fixture-sized workspaces don't trip over
+/// the real entry list.
+pub fn hot_entry_drift(facts: &[FileFacts], cfg: &Config) -> Vec<Diagnostic> {
+    let ws = Workspace::build(facts);
+    let mut out = Vec::new();
+    for entry in &cfg.hot_alloc_entries {
+        if match_entry(&ws, entry).is_empty() {
+            out.push(Diagnostic {
+                path: "er-lint.toml".to_string(),
+                line: 1,
+                col: 1,
+                rule: "hot_alloc",
+                message: format!(
+                    "hot_alloc entry `{entry}` matches no function in the workspace; the entry list has drifted from the code — update er-lint.toml (and keep zero_alloc.rs in sync)"
+                ),
+                chain: Vec::new(),
+            });
+        }
+    }
+    out
+}
+
+/// Transitive purity: impure sites in non-handler files reachable from
+/// any function defined in a handler-classed file. (Sites *inside*
+/// handler files are the per-file `impure_handler` rule's job.)
+fn impure_pass(ws: &Workspace<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let roots: Vec<usize> = (0..ws.nodes.len())
+        .filter(|&i| Config::in_paths(&ws.file(i).path, &cfg.handlers))
+        .collect();
+    let (visited, parent) = bfs(ws, &roots, false);
+    for (i, _) in visited.iter().enumerate().filter(|(_, v)| **v) {
+        if Config::in_paths(&ws.file(i).path, &cfg.handlers) {
+            continue;
+        }
+        let chain = chain_to(ws, &parent, i);
+        let via = chain.join(" -> ");
+        let root = chain[0].clone();
+        for site in ws.func(i).sites.iter() {
+            if site.kind != SiteKind::Impure || site.suppressed {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: ws.file(i).path.clone(),
+                line: site.line,
+                col: site.col,
+                rule: "impure_handler",
+                message: format!(
+                    "{} is an ambient input reachable from handler fn `{root}` via {via}; purity is transitive — the model checker can only replay what is a pure function of handler inputs, so thread this through the message or state",
+                    site.what
+                ),
+                chain: chain.clone(),
+            });
+        }
+    }
+}
+
+/// Stale-marker audit: every `lint::allow(rule)` marker must still
+/// suppress a diagnostic or sit on a site/call of its rule.
+fn unused_allow_pass(facts: &[FileFacts], out: &mut Vec<Diagnostic>) {
+    for f in facts {
+        if is_test_or_tool_path(&f.path) {
+            continue;
+        }
+        for m in &f.markers {
+            let covered = |line: u32| line == m.line || line == m.line + 1;
+            if m.rule != "all" && !RULES.contains(&m.rule.as_str()) {
                 out.push(Diagnostic {
                     path: f.path.clone(),
-                    line: site.line,
-                    col: site.col,
-                    rule: "no_panic",
+                    line: m.line,
+                    col: m.col,
+                    rule: "unused_allow",
                     message: format!(
-                        "{} can panic and is reachable from public serving fn `{root}` via {via}; return a typed error up the chain, or add `// lint::allow(no_panic): <invariant>` at the site",
-                        site.what
+                        "`lint::allow({})` names no known rule; known rules: {}",
+                        m.rule,
+                        RULES.join(", ")
                     ),
-                    chain: chain.clone(),
+                    chain: Vec::new(),
+                });
+                continue;
+            }
+            let matches_rule = |r: &str| m.rule == "all" || m.rule == r;
+            let mut used = f
+                .diags
+                .iter()
+                .any(|d| matches_rule(d.rule) && covered(d.line));
+            for func in &f.fns {
+                if used {
+                    break;
+                }
+                used |= func.sites.iter().any(|s| {
+                    covered(s.line)
+                        && match s.kind {
+                            SiteKind::Panic => matches_rule("no_panic"),
+                            SiteKind::Alloc => matches_rule("hot_alloc"),
+                            // An impure site anchors the graph rule *and*
+                            // the per-file rule of its shape, so a marker
+                            // stays live even where that rule is currently
+                            // out of scope (it arms if the scope widens).
+                            SiteKind::Impure => {
+                                matches_rule("impure_handler")
+                                    || (matches_rule("env_io") && s.what.contains("env::"))
+                                    || (matches_rule("wall_clock") && s.what.contains("::now"))
+                                    || (matches_rule("ambient_rng")
+                                        && !s.what.contains("env::")
+                                        && !s.what.contains("::now"))
+                            }
+                        }
+                });
+                // A hot_alloc marker on a call line cuts that edge — that
+                // is a use even with no allocation on the line itself.
+                used |= matches_rule("hot_alloc") && func.calls.iter().any(|c| covered(c.line));
+            }
+            if !used {
+                out.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: m.line,
+                    col: m.col,
+                    rule: "unused_allow",
+                    message: format!(
+                        "`lint::allow({})` no longer suppresses anything here; the code it blessed has moved or been fixed — remove the stale marker",
+                        m.rule
+                    ),
+                    chain: Vec::new(),
                 });
             }
         }
     }
-    out
-}
-
-/// Lints the workspace as one unit: every per-file rule plus the
-/// call-graph `no_panic` pass, in one deterministically sorted stream.
-pub fn check_workspace(files: &[FileContext<'_>], cfg: &Config) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    for ctx in files {
-        out.extend(check_file_inner(ctx, cfg, false));
-    }
-    out.extend(reachable_panics(files, cfg));
-    out.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
-    out
 }
 
 #[cfg(test)]
@@ -330,13 +370,43 @@ fn dead(x: Option<u32>) -> u32 { x.unwrap() }
         assert_eq!(d.len(), 1, "{d:#?}");
         assert_eq!(d[0].path, "crates/rpc/src/util.rs");
         assert_eq!(d[0].chain, vec!["serve", "shared_helper"]);
-        // Different crates: no edge, no report (and `shared_helper` is
-        // `pub(crate)`, so it is not a root on its own).
+        // Different crates, no import: no edge, no report (and
+        // `shared_helper` is `pub(crate)`, so it is not a root on its own).
         let d = workspace(&[
             ("crates/rpc/src/server.rs", entry),
             ("crates/metrics/src/util.rs", helper),
         ]);
         assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn panic_reachable_across_crates_through_imports() {
+        // rpc → cluster → tensor, each hop through a `use`. The tensor fn
+        // is `pub(crate)`, so it is not a serving root itself and the
+        // three-crate chain is the only way to reach it.
+        let d = workspace(&[
+            (
+                "crates/rpc/src/entry.rs",
+                "use er_cluster::placement::choose_slot;\n\
+                 pub fn route(x: Option<u32>) -> u32 { choose_slot(x) }\n",
+            ),
+            (
+                "crates/cluster/src/placement.rs",
+                "use er_tensor::align::probe_len;\n\
+                 pub(crate) fn choose_slot(x: Option<u32>) -> u32 { probe_len(x) }\n",
+            ),
+            (
+                "crates/tensor/src/align.rs",
+                "pub(crate) fn probe_len(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            ),
+        ]);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].rule, "no_panic");
+        assert_eq!(d[0].path, "crates/tensor/src/align.rs");
+        assert_eq!(
+            d[0].chain,
+            vec!["route", "er_cluster::choose_slot", "er_tensor::probe_len"]
+        );
     }
 
     #[test]
@@ -386,5 +456,91 @@ impl Balancer {
         let d = workspace(&[("crates/rpc/src/balancer.rs", src)]);
         assert_eq!(d.len(), 1, "{d:#?}");
         assert_eq!(d[0].chain, vec!["serve", "pick"]);
+    }
+
+    #[test]
+    fn hot_alloc_flags_allocation_reachable_from_an_entry() {
+        // `forward_ws` is in the default entry list; the allocation sits
+        // one import away in another crate.
+        let d = workspace(&[
+            (
+                "crates/core/src/fastpath.rs",
+                "use er_tensor::scratch::grow_scratch;\n\
+                 pub fn forward_ws(n: usize) { grow_scratch(n); }\n",
+            ),
+            (
+                "crates/tensor/src/scratch.rs",
+                "pub fn grow_scratch(n: usize) { let v: Vec<f32> = Vec::new(); let _ = (v, n); }\n",
+            ),
+        ]);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].rule, "hot_alloc");
+        assert_eq!(d[0].path, "crates/tensor/src/scratch.rs");
+        assert_eq!(d[0].chain, vec!["forward_ws", "er_tensor::grow_scratch"]);
+        assert!(d[0].message.contains("`Vec::new`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn hot_alloc_marker_on_a_call_cuts_the_edge() {
+        let d = workspace(&[(
+            "crates/core/src/fastpath.rs",
+            "\
+pub fn forward_ws(n: usize) {
+    // lint::allow(hot_alloc): grow-only warm-up guard, cold after first call
+    grow(n);
+}
+fn grow(n: usize) { let v: Vec<f32> = Vec::new(); let _ = (v, n); }
+",
+        )]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn transitive_impure_handler_reports_the_cross_file_chain() {
+        let d = workspace(&[
+            (
+                "crates/rpc/src/pure.rs",
+                "use er_workload::jitter::seed_hint;\n\
+                 pub fn on_msg(state: &u32, msg: &u32) -> u32 { state + msg + seed_hint() }\n",
+            ),
+            (
+                "crates/workload/src/jitter.rs",
+                "pub fn seed_hint() -> u32 { let t = Instant::now(); let _ = t; 0 }\n",
+            ),
+        ]);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].rule, "impure_handler");
+        assert_eq!(d[0].path, "crates/workload/src/jitter.rs");
+        assert_eq!(d[0].chain, vec!["on_msg", "er_workload::seed_hint"]);
+    }
+
+    #[test]
+    fn unused_allow_flags_stale_and_unknown_markers() {
+        let src = "\
+// lint::allow(no_panic): this unwrap was removed long ago
+pub fn serve(x: Option<u32>) -> u32 { x.unwrap_or(0) }
+// lint::allow(no_such_rule): typo
+pub fn other() -> u32 { 1 }
+";
+        let d = workspace(&[("crates/rpc/src/balancer.rs", src)]);
+        let got: Vec<(&str, u32)> = d.iter().map(|x| (x.rule, x.line)).collect();
+        assert_eq!(
+            got,
+            vec![("unused_allow", 1), ("unused_allow", 3)],
+            "{d:#?}"
+        );
+        assert!(d[1].message.contains("no known rule"), "{}", d[1].message);
+    }
+
+    #[test]
+    fn live_markers_are_not_flagged_as_unused() {
+        let src = "\
+pub fn serve(x: Option<u32>) -> u32 {
+    // lint::allow(no_panic): validated upstream
+    x.unwrap()
+}
+";
+        let d = workspace(&[("crates/rpc/src/balancer.rs", src)]);
+        assert!(d.is_empty(), "{d:#?}");
     }
 }

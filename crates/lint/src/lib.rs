@@ -23,11 +23,25 @@
 //! `// lint::allow(rule): reason` marker. The repo is offline, so the
 //! lexer is hand-rolled ([`lexer`]) — no `syn`, no dependencies at all.
 //!
-//! The analysis runs in two phases. Phase 1 ([`check_file`]) is the
-//! per-file token scan; phase 2 ([`check_workspace`]) additionally builds
-//! an intra-crate call graph ([`graph`]) so `no_panic` reports the call
-//! chain from the public entry point to the panic site, and private
-//! helpers only trip it when a serving path can actually reach them.
+//! Phase 3 widens the lens to the whole workspace: `use`/`pub use`/glob
+//! re-exports across all crates resolve into one symbol table
+//! ([`resolve`]), and three dataflow rules run over the resulting
+//! inter-crate call graph ([`graph`]) — `hot_alloc` (the warm serving
+//! fast path reaches no allocation site; entries configured via
+//! `hot_alloc_entries`, cross-checked against the dynamic `alloc-count`
+//! test), cross-crate `no_panic`, and transitive `impure_handler` —
+//! plus an `unused_allow` audit for markers that no longer suppress
+//! anything. Violation counts ratchet against `er-lint-baseline.json`
+//! ([`baseline`]): counts may only decrease, CI fails on any increase.
+//! An incremental file-hash cache ([`cache`]) keeps the whole-workspace
+//! pass fast enough for every ci.sh run.
+//!
+//! The analysis runs in two layers. Layer 1 ([`check_file`]) is the
+//! per-file token scan; layer 2 ([`check_workspace`]) additionally
+//! extracts per-file facts ([`facts`]), resolves them into the workspace
+//! graph, and reports graph rules with the full call chain from the
+//! entry point to the offending site — crate-qualified where the chain
+//! crosses crates.
 //!
 //! # Examples
 //!
@@ -43,12 +57,17 @@
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations, unreachable_pub, missing_docs)]
 
+pub mod baseline;
+pub mod cache;
 pub mod config;
+pub mod facts;
 pub mod graph;
 pub mod lexer;
+pub mod resolve;
 pub mod rules;
 pub mod walk;
 
 pub use config::Config;
-pub use graph::check_workspace;
-pub use rules::{check_file, Diagnostic, FileContext};
+pub use facts::FileFacts;
+pub use graph::{check_workspace, check_workspace_facts, hot_entry_drift};
+pub use rules::{check_file, render_json, Diagnostic, FileContext, RULES};

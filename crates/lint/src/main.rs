@@ -1,14 +1,26 @@
 //! The `er-lint` binary: lint the workspace, print diagnostics, exit
-//! nonzero on any violation.
+//! nonzero on any violation (or, with a baseline, on any ratchet
+//! regression).
 //!
 //! ```text
-//! er-lint [--format json|text] [--only PREFIX]... [ROOT]
+//! er-lint [--format json|text] [--only PREFIX]...
+//!         [--baseline FILE] [--write-baseline FILE] [--no-cache] [ROOT]
 //! ```
 //!
 //! `ROOT` defaults to the current directory. The whole workspace is always
 //! scanned (the call graph needs every file); `--only` filters which
 //! diagnostics are *reported* by path prefix — useful for focused gates
 //! like the CI self-check over `crates/lint` and `crates/units`.
+//!
+//! `--baseline FILE` switches the exit code to ratchet semantics: the run
+//! passes as long as no rule's violation count exceeds the committed
+//! baseline, fails (with the suggested tightened JSON) on any increase,
+//! and reminds on any decrease. `--write-baseline FILE` writes the current
+//! counts in canonical form. Counts are taken over the *full* diagnostic
+//! stream, before `--only` filtering.
+//!
+//! Facts are cached per file-content hash in `ROOT/target/er-lint-cache`
+//! (config-hash keyed; `--no-cache` bypasses both read and write).
 //!
 //! Reads `ROOT/er-lint.toml` when present (see [`er_lint::Config`]). Text
 //! output prints `path:line:col: [rule] message` per violation; JSON output
@@ -21,24 +33,20 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use er_lint::{check_workspace, walk, Config, Diagnostic, FileContext};
-
-/// Every rule the engine can emit, for the stable per-rule summary.
-const RULES: [&str; 8] = [
-    "wall_clock",
-    "ambient_rng",
-    "env_io",
-    "hashmap_iter",
-    "no_panic",
-    "float_reduction",
-    "unit_mixing",
-    "impure_handler",
-];
+use er_lint::cache::{fnv1a, Cache};
+use er_lint::facts::extract_facts;
+use er_lint::{
+    baseline, check_workspace_facts, hot_entry_drift, render_json, walk, Config, FileContext,
+    FileFacts, RULES,
+};
 
 struct Args {
     root: PathBuf,
     json: bool,
     only: Vec<String>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    no_cache: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +54,9 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         json: false,
         only: Vec::new(),
+        baseline: None,
+        write_baseline: None,
+        no_cache: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -59,6 +70,15 @@ fn parse_args() -> Result<Args, String> {
                 Some(prefix) => args.only.push(prefix),
                 None => return Err("--only needs a path prefix".into()),
             },
+            "--baseline" => match it.next() {
+                Some(p) => args.baseline = Some(PathBuf::from(p)),
+                None => return Err("--baseline needs a file path".into()),
+            },
+            "--write-baseline" => match it.next() {
+                Some(p) => args.write_baseline = Some(PathBuf::from(p)),
+                None => return Err("--write-baseline needs a file path".into()),
+            },
+            "--no-cache" => args.no_cache = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             root => args.root = PathBuf::from(root),
         }
@@ -66,77 +86,24 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn json_escaped(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// The stable machine-readable schema: an array of objects with exactly
-/// the keys `rule`, `path`, `line`, `col`, `message`, `chain`.
-fn render_json(diags: &[Diagnostic]) -> String {
-    let mut out = String::from("[\n");
-    for (i, d) in diags.iter().enumerate() {
-        out.push_str("  {\"rule\": ");
-        json_escaped(d.rule, &mut out);
-        out.push_str(", \"path\": ");
-        json_escaped(&d.path, &mut out);
-        out.push_str(&format!(
-            ", \"line\": {}, \"col\": {}, \"message\": ",
-            d.line, d.col
-        ));
-        json_escaped(&d.message, &mut out);
-        out.push_str(", \"chain\": [");
-        for (j, link) in d.chain.iter().enumerate() {
-            if j > 0 {
-                out.push_str(", ");
-            }
-            json_escaped(link, &mut out);
-        }
-        out.push_str("]}");
-        out.push_str(if i + 1 < diags.len() { ",\n" } else { "\n" });
-    }
-    out.push(']');
-    out
-}
-
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(args) => args,
+    match run() {
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("er-lint: {msg}");
-            return ExitCode::FAILURE;
+            ExitCode::FAILURE
         }
-    };
-    let cfg = match load_config(&args.root) {
-        Ok(cfg) => cfg,
-        Err(msg) => {
-            eprintln!("er-lint: {msg}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let files = match walk::rust_files(&args.root, &cfg) {
-        Ok(files) => files,
-        Err(e) => {
-            eprintln!("er-lint: walking {}: {e}", args.root.display());
-            return ExitCode::FAILURE;
-        }
-    };
+    }
+}
 
-    // Read every source first: FileContext borrows, and the call graph
-    // wants the whole workspace at once.
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let cfg = load_config(&args.root)?;
+    let files = walk::rust_files(&args.root, &cfg)
+        .map_err(|e| format!("walking {}: {e}", args.root.display()))?;
+
+    // Read every source first: the call graph wants the whole workspace
+    // at once.
     let mut sources: Vec<(String, String)> = Vec::new();
     for path in &files {
         // Non-UTF-8 or unreadable: nothing for a Rust lexer to do.
@@ -144,12 +111,52 @@ fn main() -> ExitCode {
             sources.push((walk::relative(&args.root, path), src));
         }
     }
-    let ctxs: Vec<FileContext<'_>> = sources
-        .iter()
-        .map(|(rel, src)| FileContext::new(rel.clone(), src))
-        .collect();
 
-    let mut diags = check_workspace(&ctxs, &cfg);
+    // Facts: replayed from the cache for unchanged files, extracted
+    // fresh otherwise. The config hash keys the whole cache.
+    let config_hash = fnv1a(format!("{cfg:?}").as_bytes());
+    let target_dir = args.root.join("target");
+    let cache_path = target_dir.join("er-lint-cache");
+    let cache = if args.no_cache {
+        Cache::default()
+    } else {
+        match std::fs::read_to_string(&cache_path) {
+            Ok(text) => Cache::load(&text, config_hash),
+            Err(_) => Cache::default(),
+        }
+    };
+    let mut cache_hits = 0usize;
+    let hashed: Vec<(u64, &String, &String)> = sources
+        .iter()
+        .map(|(rel, src)| (fnv1a(src.as_bytes()), rel, src))
+        .collect();
+    let facts: Vec<FileFacts> = hashed
+        .iter()
+        .map(|(hash, rel, src)| match cache.get(rel, *hash) {
+            Some(f) => {
+                cache_hits += 1;
+                f.clone()
+            }
+            None => extract_facts(&FileContext::new((*rel).clone(), src), &cfg),
+        })
+        .collect();
+    if !args.no_cache {
+        let entries: Vec<(u64, &FileFacts)> = hashed
+            .iter()
+            .zip(&facts)
+            .map(|((hash, _, _), f)| (*hash, f))
+            .collect();
+        // Best effort: a read-only target dir just means no cache.
+        let _ = std::fs::create_dir_all(&target_dir);
+        let _ = std::fs::write(&cache_path, Cache::render(&entries, config_hash));
+    }
+
+    let mut diags = check_workspace_facts(&facts, &cfg);
+    diags.extend(hot_entry_drift(&facts, &cfg));
+    diags.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+
+    // Ratchet counts cover everything, before reporting filters.
+    let counts = baseline::count_by_rule(&diags);
     if !args.only.is_empty() {
         diags.retain(|d| {
             args.only
@@ -172,20 +179,67 @@ fn main() -> ExitCode {
         summary.push_str(&format!(" {rule}={count}"));
     }
     eprintln!("er-lint: per-rule:{summary}");
+    eprintln!(
+        "er-lint: {} files scanned ({cache_hits} from cache)",
+        facts.len()
+    );
+
+    if let Some(path) = &args.write_baseline {
+        std::fs::write(path, baseline::render(&counts))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("er-lint: baseline written to {}", path.display());
+    }
+
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let base = baseline::parse(&text)?;
+        return Ok(match baseline::compare(&counts, &base) {
+            baseline::Verdict::Clean => {
+                eprintln!("er-lint: ratchet OK — counts match {}", path.display());
+                ExitCode::SUCCESS
+            }
+            baseline::Verdict::Tighten(improved) => {
+                eprintln!("er-lint: ratchet OK — counts dropped below the baseline:");
+                for line in improved {
+                    eprintln!("er-lint:   {line}");
+                }
+                eprintln!(
+                    "er-lint: tighten {} to lock the improvement in:\n{}",
+                    path.display(),
+                    baseline::render(&counts)
+                );
+                ExitCode::SUCCESS
+            }
+            baseline::Verdict::Regressed(regressed) => {
+                eprintln!(
+                    "er-lint: ratchet FAIL — counts increased over {}:",
+                    path.display()
+                );
+                for line in regressed {
+                    eprintln!("er-lint:   {line}");
+                }
+                eprintln!(
+                    "er-lint: fix the new violations (the baseline only ratchets down); current counts for reference:\n{}",
+                    baseline::render(&counts)
+                );
+                ExitCode::FAILURE
+            }
+        });
+    }
 
     if diags.is_empty() {
-        eprintln!("er-lint: OK — {} files scanned, 0 violations", ctxs.len());
-        ExitCode::SUCCESS
+        eprintln!("er-lint: OK — 0 violations");
+        Ok(ExitCode::SUCCESS)
     } else {
         let files_with: std::collections::BTreeSet<&str> =
             diags.iter().map(|d| d.path.as_str()).collect();
         eprintln!(
-            "er-lint: FAIL — {} violation(s) in {} file(s) ({} scanned)",
+            "er-lint: FAIL — {} violation(s) in {} file(s)",
             diags.len(),
             files_with.len(),
-            ctxs.len()
         );
-        ExitCode::FAILURE
+        Ok(ExitCode::FAILURE)
     }
 }
 

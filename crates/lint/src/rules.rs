@@ -15,6 +15,22 @@ use std::collections::{BTreeMap, BTreeSet};
 use crate::config::Config;
 use crate::lexer::{tokenize, Token, TokenKind};
 
+/// Every rule the engine can emit, in stable summary order. This is also
+/// the vocabulary `lint::allow(..)` markers and the ratchet baseline are
+/// validated against.
+pub const RULES: [&str; 10] = [
+    "wall_clock",
+    "ambient_rng",
+    "env_io",
+    "hashmap_iter",
+    "no_panic",
+    "float_reduction",
+    "unit_mixing",
+    "impure_handler",
+    "hot_alloc",
+    "unused_allow",
+];
+
 /// One rule violation, pointing at the first token of the match.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -44,6 +60,53 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
+fn json_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The stable machine-readable schema: an array of objects with exactly
+/// the keys `rule`, `path`, `line`, `col`, `message`, `chain`. This is
+/// what `--format json` prints and what `target/er-lint.json` holds.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("  {\"rule\": ");
+        json_escaped(d.rule, &mut out);
+        out.push_str(", \"path\": ");
+        json_escaped(&d.path, &mut out);
+        out.push_str(&format!(
+            ", \"line\": {}, \"col\": {}, \"message\": ",
+            d.line, d.col
+        ));
+        json_escaped(&d.message, &mut out);
+        out.push_str(", \"chain\": [");
+        for (j, link) in d.chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            json_escaped(link, &mut out);
+        }
+        out.push_str("]}");
+        out.push_str(if i + 1 < diags.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out
+}
+
 /// A lexed file plus everything the rules need to scope their matches.
 #[derive(Debug)]
 pub struct FileContext<'a> {
@@ -60,6 +123,9 @@ pub struct FileContext<'a> {
     in_test: Vec<bool>,
     /// Line -> rule names suppressed on that line by allow markers.
     allows: BTreeMap<u32, BTreeSet<String>>,
+    /// Every non-doc-comment marker occurrence as `(line, col, rule)`,
+    /// for the unused-marker audit.
+    raw_allows: Vec<(u32, u32, String)>,
 }
 
 impl<'a> FileContext<'a> {
@@ -73,7 +139,7 @@ impl<'a> FileContext<'a> {
             .map(|(i, _)| i)
             .collect();
         let in_test = test_regions(&tokens, src);
-        let allows = allow_markers(&tokens, src);
+        let (allows, raw_allows) = allow_markers(&tokens, src);
         Self {
             path: path.into(),
             src,
@@ -81,6 +147,7 @@ impl<'a> FileContext<'a> {
             code,
             in_test,
             allows,
+            raw_allows,
         }
     }
 
@@ -108,6 +175,12 @@ impl<'a> FileContext<'a> {
         self.allows
             .get(&line)
             .is_some_and(|set| set.contains(rule) || set.contains("all"))
+    }
+
+    /// The raw `(line, col, rule)` marker list, doc comments excluded —
+    /// the unused-marker audit walks this.
+    pub(crate) fn raw_markers(&self) -> &[(u32, u32, String)] {
+        &self.raw_allows
     }
 }
 
@@ -215,14 +288,25 @@ fn test_regions(tokens: &[Token], src: &str) -> Vec<bool> {
 
 /// Collects `lint::allow(rule, ...)` markers from comments. A marker
 /// covers its own line and the next line, so it can sit inline or on the
-/// line above the exception it blesses.
-fn allow_markers(tokens: &[Token], src: &str) -> BTreeMap<u32, BTreeSet<String>> {
+/// line above the exception it blesses. Also returns the raw occurrence
+/// list `(line, col, rule)` — minus doc comments, which merely *document*
+/// the marker syntax — for the unused-marker audit.
+#[allow(clippy::type_complexity)]
+fn allow_markers(
+    tokens: &[Token],
+    src: &str,
+) -> (BTreeMap<u32, BTreeSet<String>>, Vec<(u32, u32, String)>) {
     let mut map: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    let mut raw: Vec<(u32, u32, String)> = Vec::new();
     for t in tokens {
         if !matches!(t.kind, TokenKind::Comment { .. }) {
             continue;
         }
         let text = t.text(src);
+        let doc = text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/**")
+            || text.starts_with("/*!");
         let mut rest = text;
         while let Some(at) = rest.find("lint::allow(") {
             let args = &rest[at + "lint::allow(".len()..];
@@ -231,13 +315,16 @@ fn allow_markers(tokens: &[Token], src: &str) -> BTreeMap<u32, BTreeSet<String>>
                 let rule = rule.trim().to_string();
                 if !rule.is_empty() {
                     map.entry(t.line).or_default().insert(rule.clone());
-                    map.entry(t.line + 1).or_default().insert(rule);
+                    map.entry(t.line + 1).or_default().insert(rule.clone());
+                    if !doc {
+                        raw.push((t.line, t.col, rule));
+                    }
                 }
             }
             rest = &args[close..];
         }
     }
-    map
+    (map, raw)
 }
 
 /// True for file classes exempt from hot-path rules: test, bench, example,
@@ -265,6 +352,20 @@ pub(crate) fn check_file_inner(
     cfg: &Config,
     token_no_panic: bool,
 ) -> Vec<Diagnostic> {
+    let mut out = rules_pass(ctx, cfg, token_no_panic);
+    out.retain(|d| !ctx.suppressed(d.line, d.rule));
+    out
+}
+
+/// Per-file rules *before* marker suppression and without the token-level
+/// `no_panic` scan — what the workspace fact extractor records, so the
+/// unused-marker audit can see which markers actually suppress something.
+pub(crate) fn check_file_presuppress(ctx: &FileContext<'_>, cfg: &Config) -> Vec<Diagnostic> {
+    rules_pass(ctx, cfg, false)
+}
+
+/// The shared rule dispatcher (no suppression applied).
+fn rules_pass(ctx: &FileContext<'_>, cfg: &Config, token_no_panic: bool) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let det = Config::in_paths(&ctx.path, &cfg.deterministic);
     let serving = Config::in_paths(&ctx.path, &cfg.serving);
@@ -293,7 +394,6 @@ pub(crate) fn check_file_inner(
     if Config::in_paths(&ctx.path, &cfg.handlers) && !tool {
         impure_handler(ctx, &mut out);
     }
-    out.retain(|d| !ctx.suppressed(d.line, d.rule));
     out
 }
 
@@ -362,7 +462,7 @@ fn ambient_rng(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
 }
 
 /// Process-environment accessors shared by `env_io` and `impure_handler`.
-const ENV_CALLS: [&str; 7] = [
+pub(crate) const ENV_CALLS: [&str; 7] = [
     "var", "var_os", "vars", "vars_os", "args", "args_os", "temp_dir",
 ];
 

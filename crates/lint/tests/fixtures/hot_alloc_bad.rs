@@ -1,0 +1,9 @@
+//! Fixture: an allocation site reachable from the hot entry
+//! `forward_ws` across the core -> tensor crate boundary.
+
+/// Grows a scratch buffer — allocates on every call.
+pub(crate) fn grow_scratch(n: usize) -> Vec<f32> {
+    let mut v = Vec::new();
+    v.resize(n, 0.0);
+    v
+}

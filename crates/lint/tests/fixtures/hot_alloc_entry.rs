@@ -1,0 +1,9 @@
+//! Companion: the warm-path entry whose call graph reaches
+//! `grow_scratch` in the tensor crate.
+
+use er_tensor::scratch::grow_scratch;
+
+/// The hot entry (`hot_alloc_entries` lists `forward_ws` by default).
+pub fn forward_ws(n: usize) -> usize {
+    grow_scratch(n).len()
+}

@@ -1,0 +1,8 @@
+//! Fixture: an ambient input one crate away from a pure handler — the
+//! handler's call graph reaches the thread RNG through er-workload.
+
+/// Derives a seed hint from the ambient thread RNG (impure).
+pub(crate) fn seed_hint() -> u64 {
+    let r = thread_rng().next_u64();
+    r ^ 0x9e37_79b9
+}

@@ -1,0 +1,10 @@
+//! Companion: the replay-pure handler whose call graph reaches the
+//! ambient RNG in the workload crate.
+
+use er_workload::seed::seed_hint;
+
+/// Handles one message; the model checker replays this, so every input
+/// must arrive through the message.
+pub fn on_msg(x: u64) -> u64 {
+    x ^ seed_hint()
+}

@@ -1,0 +1,17 @@
+//! Fixture: stale and unknown suppression markers that the workspace
+//! `unused_allow` audit must flag.
+
+// lint::allow(no_panic): the unwrap this blessed was removed long ago
+pub fn tidy(x: u32) -> u32 {
+    x + 1
+}
+
+// lint::allow(not_a_rule): typo'd rule names must not rot silently
+pub fn renamed(x: u32) -> u32 {
+    x + 2
+}
+
+pub fn live(x: Option<u32>) -> u32 {
+    // lint::allow(no_panic): fixture-blessed unwrap stays suppressed
+    x.unwrap()
+}

@@ -1,0 +1,8 @@
+//! Fixture: a panic site three crates deep on the serving path
+//! (rpc -> cluster -> tensor). `pub(crate)`, so the long chain is the
+//! only route that reaches it.
+
+/// Returns the probed length; panics when the probe map has no entry.
+pub(crate) fn probe_len(m: Option<usize>) -> usize {
+    m.unwrap()
+}

@@ -1,0 +1,8 @@
+//! Companion: the middle hop of the rpc -> cluster -> tensor chain.
+
+use er_tensor::probe::probe_len;
+
+/// Picks a slot for the probed entry.
+pub(crate) fn choose_slot(m: Option<usize>) -> usize {
+    probe_len(m) % 7
+}

@@ -1,0 +1,9 @@
+//! Companion: the public serving entry that roots the cross-crate
+//! panic chain.
+
+use er_cluster::placement::choose_slot;
+
+/// Routes a query to its slot.
+pub fn route(m: Option<usize>) -> usize {
+    choose_slot(m)
+}

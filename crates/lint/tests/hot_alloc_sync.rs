@@ -1,0 +1,102 @@
+//! Keeps the static and dynamic allocation-freedom checks pointed at the
+//! same code: the `hot_alloc_entries` list in `er-lint.toml` must contain
+//! the entry point the counting-allocator test
+//! (`crates/core/tests/zero_alloc.rs`) drives, and every configured entry
+//! must still name a function that exists in the workspace — otherwise
+//! one proof silently drifts away from the other.
+
+use std::path::Path;
+
+use er_lint::Config;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+fn workspace_config() -> Config {
+    let toml = std::fs::read_to_string(workspace_root().join("er-lint.toml"))
+        .expect("er-lint.toml at the workspace root");
+    Config::from_toml_str(&toml).expect("er-lint.toml parses")
+}
+
+/// The dynamic test's entry point must be statically proven too.
+#[test]
+fn zero_alloc_entry_is_in_the_hot_alloc_list() {
+    let cfg = workspace_config();
+    assert!(
+        cfg.hot_alloc_entries.iter().any(|e| e == "forward_ws"),
+        "er-lint.toml hot_alloc_entries must include `forward_ws`, the \
+         entry the zero_alloc counting-allocator test drives; got {:?}",
+        cfg.hot_alloc_entries
+    );
+    let zero_alloc =
+        std::fs::read_to_string(workspace_root().join("crates/core/tests/zero_alloc.rs"))
+            .expect("zero_alloc test exists");
+    assert!(
+        zero_alloc.contains("forward_ws"),
+        "crates/core/tests/zero_alloc.rs no longer drives forward_ws — \
+         update hot_alloc_entries and this test together"
+    );
+}
+
+/// Every configured hot entry still names a real function (same check the
+/// binary performs via `hot_entry_drift`, pinned here so `cargo test`
+/// catches a rename even without running the binary).
+#[test]
+fn every_hot_alloc_entry_matches_a_workspace_function() {
+    let cfg = workspace_config();
+    for entry in &cfg.hot_alloc_entries {
+        let (file, name) = match entry.split_once("::") {
+            Some((f, n)) => (Some(f), n),
+            None => (None, entry.as_str()),
+        };
+        let needle = format!("fn {name}");
+        let found = match file {
+            Some(f) => std::fs::read_to_string(workspace_root().join(f))
+                .map(|src| src.contains(&needle))
+                .unwrap_or(false),
+            None => {
+                let mut hit = false;
+                let crates_dir = workspace_root().join("crates");
+                for krate in std::fs::read_dir(&crates_dir).expect("crates dir") {
+                    let src_dir = krate.expect("dir entry").path().join("src");
+                    if scan_dir_for(&src_dir, &needle) {
+                        hit = true;
+                        break;
+                    }
+                }
+                hit
+            }
+        };
+        assert!(
+            found,
+            "hot_alloc entry `{entry}` matches no function in the \
+             workspace — the entry list has drifted from the code"
+        );
+    }
+}
+
+fn scan_dir_for(dir: &Path, needle: &str) -> bool {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return false;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            if scan_dir_for(&p, needle) {
+                return true;
+            }
+        } else if p.extension().is_some_and(|x| x == "rs")
+            && std::fs::read_to_string(&p)
+                .map(|src| src.contains(needle))
+                .unwrap_or(false)
+        {
+            return true;
+        }
+    }
+    false
+}

@@ -3,7 +3,7 @@
 //! rule in question — positive fixtures must produce the expected
 //! diagnostics, allowlisted fixtures must come back clean.
 
-use er_lint::{check_file, check_workspace, Config, Diagnostic, FileContext};
+use er_lint::{check_file, check_workspace, render_json, Config, Diagnostic, FileContext};
 
 fn check(path_class: &str, src: &str) -> Vec<Diagnostic> {
     let ctx = FileContext::new(path_class, src);
@@ -15,6 +15,13 @@ fn check(path_class: &str, src: &str) -> Vec<Diagnostic> {
 fn check_graph(path_class: &str, src: &str) -> Vec<Diagnostic> {
     let ctx = FileContext::new(path_class, src);
     check_workspace(std::slice::from_ref(&ctx), &Config::default())
+}
+
+/// The phase-3 path: several files checked as one mini-workspace, so
+/// `use` chains resolve across crate boundaries.
+fn check_graph_files(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let ctxs: Vec<FileContext<'_>> = files.iter().map(|&(p, s)| FileContext::new(p, s)).collect();
+    check_workspace(&ctxs, &Config::default())
 }
 
 fn rules_and_lines(diags: &[Diagnostic]) -> Vec<(&'static str, u32)> {
@@ -262,49 +269,215 @@ fn nested_comment_fixture_flags_the_real_unwrap_not_the_bait() {
     assert_eq!(diags[0].chain, vec!["serve"]);
 }
 
+#[test]
+fn unused_allow_fixture_flags_stale_and_unknown_markers() {
+    let src = include_str!("fixtures/unused_allow_bad.rs");
+    let diags = check_graph("crates/rpc/src/unused_allow_bad.rs", src);
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![("unused_allow", 4), ("unused_allow", 9)],
+        "{diags:#?}"
+    );
+    assert!(
+        diags[0].message.contains("no longer suppresses"),
+        "{}",
+        diags[0].message
+    );
+    assert!(
+        diags[1].message.contains("names no known rule"),
+        "{}",
+        diags[1].message
+    );
+}
+
+#[test]
+fn hot_alloc_fixture_reports_the_cross_crate_chain_in_json() {
+    let diags = check_graph_files(&[
+        (
+            "crates/core/src/entry.rs",
+            include_str!("fixtures/hot_alloc_entry.rs"),
+        ),
+        (
+            "crates/tensor/src/scratch.rs",
+            include_str!("fixtures/hot_alloc_bad.rs"),
+        ),
+    ]);
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![("hot_alloc", 6)],
+        "{diags:#?}"
+    );
+    assert_eq!(diags[0].path, "crates/tensor/src/scratch.rs");
+    assert_eq!(
+        diags[0].chain,
+        vec!["forward_ws", "er_tensor::grow_scratch"]
+    );
+    let json = render_json(&diags);
+    assert!(json.contains("\"rule\": \"hot_alloc\""), "{json}");
+    assert!(
+        json.contains("\"chain\": [\"forward_ws\", \"er_tensor::grow_scratch\"]"),
+        "{json}"
+    );
+}
+
+#[test]
+fn xcrate_panic_fixture_reports_the_three_crate_chain_in_json() {
+    let diags = check_graph_files(&[
+        (
+            "crates/rpc/src/router.rs",
+            include_str!("fixtures/xcrate_panic_root.rs"),
+        ),
+        (
+            "crates/cluster/src/placement.rs",
+            include_str!("fixtures/xcrate_panic_mid.rs"),
+        ),
+        (
+            "crates/tensor/src/probe.rs",
+            include_str!("fixtures/xcrate_panic_bad.rs"),
+        ),
+    ]);
+    assert_eq!(rules_and_lines(&diags), vec![("no_panic", 7)], "{diags:#?}");
+    assert_eq!(diags[0].path, "crates/tensor/src/probe.rs");
+    assert_eq!(
+        diags[0].chain,
+        vec!["route", "er_cluster::choose_slot", "er_tensor::probe_len"]
+    );
+    let json = render_json(&diags);
+    assert!(
+        json.contains(
+            "\"chain\": [\"route\", \"er_cluster::choose_slot\", \"er_tensor::probe_len\"]"
+        ),
+        "{json}"
+    );
+}
+
+#[test]
+fn transitive_impure_fixture_reports_the_handler_chain_in_json() {
+    let diags = check_graph_files(&[
+        (
+            "crates/rpc/src/pure.rs",
+            include_str!("fixtures/transitive_impure_handler.rs"),
+        ),
+        (
+            "crates/workload/src/seed.rs",
+            include_str!("fixtures/transitive_impure_bad.rs"),
+        ),
+    ]);
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![("impure_handler", 6)],
+        "{diags:#?}"
+    );
+    assert_eq!(diags[0].path, "crates/workload/src/seed.rs");
+    assert_eq!(diags[0].chain, vec!["on_msg", "er_workload::seed_hint"]);
+    let json = render_json(&diags);
+    assert!(
+        json.contains("\"chain\": [\"on_msg\", \"er_workload::seed_hint\"]"),
+        "{json}"
+    );
+}
+
 /// Every `*_bad.rs` fixture must be covered by an exact-expectation test
 /// above AND must produce at least one diagnostic under its designated
 /// path class — so adding a fixture without wiring its expectations fails
 /// CI rather than rotting silently.
 #[test]
 fn every_bad_fixture_is_wired_to_expectations() {
-    // fixture file -> (path class it is checked under, graph pass?, count).
-    let expected: &[(&str, &str, bool, usize)] = &[
-        ("wall_clock_bad.rs", "crates/sim/src/f.rs", false, 2),
-        ("hashmap_iter_bad.rs", "crates/sim/src/f.rs", false, 3),
-        ("no_panic_bad.rs", "crates/rpc/src/f.rs", false, 3),
-        ("float_reduction_bad.rs", "crates/model/src/f.rs", false, 2),
-        ("quant_dequant_bad.rs", "crates/model/src/f.rs", false, 2),
-        ("ambient_bad.rs", "crates/partition/src/f.rs", false, 2),
+    // fixture file -> (path class, graph pass?, count, companion files
+    // checked in the same mini-workspace as (fixture name, path class)).
+    type Companions = &'static [(&'static str, &'static str)];
+    let expected: &[(&str, &str, bool, usize, Companions)] = &[
+        ("wall_clock_bad.rs", "crates/sim/src/f.rs", false, 2, &[]),
+        ("hashmap_iter_bad.rs", "crates/sim/src/f.rs", false, 3, &[]),
+        ("no_panic_bad.rs", "crates/rpc/src/f.rs", false, 3, &[]),
+        (
+            "float_reduction_bad.rs",
+            "crates/model/src/f.rs",
+            false,
+            2,
+            &[],
+        ),
+        (
+            "quant_dequant_bad.rs",
+            "crates/model/src/f.rs",
+            false,
+            2,
+            &[],
+        ),
+        ("ambient_bad.rs", "crates/partition/src/f.rs", false, 2, &[]),
         (
             "unit_mixing_bytes_flops_bad.rs",
             "crates/partition/src/cost.rs",
             false,
             3,
+            &[],
         ),
         (
             "unit_mixing_time_bad.rs",
             "crates/cluster/src/hpa.rs",
             false,
             3,
+            &[],
         ),
         (
             "unit_mixing_qps_latency_bad.rs",
             "crates/cluster/src/hpa.rs",
             false,
             3,
+            &[],
         ),
-        ("impure_handler_bad.rs", "crates/rpc/src/pure.rs", false, 5),
-        ("panic_reach_bad.rs", "crates/rpc/src/f.rs", true, 1),
-        ("raw_string_trap_bad.rs", "crates/rpc/src/f.rs", true, 1),
-        ("nested_comment_bad.rs", "crates/rpc/src/f.rs", true, 1),
+        (
+            "impure_handler_bad.rs",
+            "crates/rpc/src/pure.rs",
+            false,
+            5,
+            &[],
+        ),
+        ("panic_reach_bad.rs", "crates/rpc/src/f.rs", true, 1, &[]),
+        (
+            "raw_string_trap_bad.rs",
+            "crates/rpc/src/f.rs",
+            true,
+            1,
+            &[],
+        ),
+        ("nested_comment_bad.rs", "crates/rpc/src/f.rs", true, 1, &[]),
+        ("unused_allow_bad.rs", "crates/rpc/src/f.rs", true, 2, &[]),
+        (
+            "hot_alloc_bad.rs",
+            "crates/tensor/src/scratch.rs",
+            true,
+            1,
+            &[("hot_alloc_entry.rs", "crates/core/src/entry.rs")],
+        ),
+        (
+            "xcrate_panic_bad.rs",
+            "crates/tensor/src/probe.rs",
+            true,
+            1,
+            &[
+                ("xcrate_panic_mid.rs", "crates/cluster/src/placement.rs"),
+                ("xcrate_panic_root.rs", "crates/rpc/src/router.rs"),
+            ],
+        ),
+        (
+            "transitive_impure_bad.rs",
+            "crates/workload/src/seed.rs",
+            true,
+            1,
+            &[("transitive_impure_handler.rs", "crates/rpc/src/pure.rs")],
+        ),
     ];
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
-    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+    let all_files: Vec<String> = std::fs::read_dir(&dir)
         .expect("fixtures dir")
         .filter_map(|e| e.ok())
         .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    let mut on_disk: Vec<String> = all_files
+        .iter()
         .filter(|n| n.ends_with("_bad.rs"))
+        .cloned()
         .collect();
     on_disk.sort();
     let mut listed: Vec<String> = expected.iter().map(|(n, ..)| n.to_string()).collect();
@@ -313,12 +486,40 @@ fn every_bad_fixture_is_wired_to_expectations() {
         on_disk, listed,
         "every *_bad.rs fixture needs an entry here (and a matching exact test)"
     );
-    for (name, class, graph, count) in expected {
+    // Companion files (no `_bad`/`_allowed` suffix) must be wired into
+    // some group — an orphan companion means a half-deleted fixture.
+    for name in &all_files {
+        if name.ends_with("_bad.rs") || name.ends_with("_allowed.rs") {
+            continue;
+        }
+        assert!(
+            expected
+                .iter()
+                .any(|(.., comps)| comps.iter().any(|(c, _)| c == name)),
+            "{name} is not referenced as a companion of any fixture group"
+        );
+    }
+    for (name, class, graph, count, companions) in expected {
         let src = std::fs::read_to_string(dir.join(name)).expect("fixture readable");
-        let diags = if *graph {
-            check_graph(class, &src)
+        let diags = if companions.is_empty() {
+            if *graph {
+                check_graph(class, &src)
+            } else {
+                check(class, &src)
+            }
         } else {
-            check(class, &src)
+            let comp_srcs: Vec<(String, String)> = companions
+                .iter()
+                .map(|(f, p)| {
+                    (
+                        p.to_string(),
+                        std::fs::read_to_string(dir.join(f)).expect("companion readable"),
+                    )
+                })
+                .collect();
+            let mut files: Vec<(&str, &str)> = vec![(class, src.as_str())];
+            files.extend(comp_srcs.iter().map(|(p, s)| (p.as_str(), s.as_str())));
+            check_graph_files(&files)
         };
         assert_eq!(diags.len(), *count, "{name} under {class}: {diags:#?}");
     }

@@ -41,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         out: None,
     };
+    // lint::allow(env_io): binary entry point parses its own CLI args
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -123,6 +124,7 @@ fn main() -> ExitCode {
 
     let model = control::ControlPlane::new(cfg);
     let props = control::properties();
+    // lint::allow(wall_clock): reports checker wall time, not model time
     let start = Instant::now();
     let report = check(&model, &props, strategy, bounds);
     let elapsed = start.elapsed();

@@ -107,6 +107,7 @@ pub fn bucketize_into(
         assert!(w[1] >= w[0], "offset array must be non-decreasing");
     }
     assert!(
+        // lint::allow(no_panic): non-emptiness asserted three lines up
         *offsets.last().expect("non-empty") as usize <= indices.len(),
         "last offset exceeds index array"
     );
@@ -115,7 +116,9 @@ pub fn bucketize_into(
     let num_inputs = offsets.len();
     out.indices.truncate(num_shards);
     out.offsets.truncate(num_shards);
+    // lint::allow(hot_alloc): grow-only to shard count, then reused
     out.indices.resize_with(num_shards, Vec::new);
+    // lint::allow(hot_alloc): grow-only to shard count, then reused
     out.offsets.resize_with(num_shards, Vec::new);
     for v in &mut out.indices {
         v.clear();
@@ -192,6 +195,7 @@ pub fn bucketize_tables(
         }
     });
     out.into_iter()
+        // lint::allow(no_panic): scope() joins every worker, each fills its slot
         .map(|b| b.expect("every chunk filled by its worker"))
         .collect()
 }

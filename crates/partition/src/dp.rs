@@ -26,6 +26,7 @@ fn partition_over_candidates(
     cost: &impl Fn(u64, u64) -> f64,
 ) -> PartitionPlan {
     let b = ends.len();
+    // lint::allow(no_panic): callers pass >=1 candidate (documented contract)
     let table_len = *ends.last().expect("candidate list is non-empty");
     let s_max = s_max.min(b);
 
@@ -61,7 +62,9 @@ fn partition_over_candidates(
     let last = b - 1;
     let (best_s, _) = (0..s_max)
         .map(|s| (s, mem[s][last]))
+        // lint::allow(no_panic): costs are finite-or-INFINITY, never NaN
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are not NaN"))
+        // lint::allow(no_panic): s_max >= 1 is a documented caller contract
         .expect("s_max >= 1");
 
     // Reconstruct cut points.
@@ -77,6 +80,7 @@ fn partition_over_candidates(
         s -= 1;
     }
     cuts.reverse();
+    // lint::allow(no_panic): DP cuts are strictly increasing and end at len
     PartitionPlan::new(cuts, table_len).expect("DP produces valid cuts")
 }
 
@@ -208,6 +212,7 @@ fn partition_candidates_fixed_k(
     cost: &impl Fn(u64, u64) -> f64,
 ) -> PartitionPlan {
     let b = ends.len();
+    // lint::allow(no_panic): callers pass >=1 candidate (documented contract)
     let table_len = *ends.last().expect("non-empty");
     let k = k.min(b);
     let mut mem = vec![vec![f64::INFINITY; b]; k];
@@ -246,6 +251,7 @@ fn partition_candidates_fixed_k(
         s -= 1;
     }
     cuts.reverse();
+    // lint::allow(no_panic): DP cuts are strictly increasing and end at len
     PartitionPlan::new(cuts, table_len).expect("DP produces valid cuts")
 }
 

@@ -56,10 +56,11 @@ impl PartitionPlan {
                 )));
             }
         }
-        if *cuts.last().expect("non-empty") != table_len {
+        // lint::allow(no_panic): emptiness rejected at the top of this fn
+        let last = *cuts.last().expect("non-empty");
+        if last != table_len {
             return Err(PlanError(format!(
-                "last cut {} must equal the table length {table_len}",
-                cuts.last().expect("non-empty")
+                "last cut {last} must equal the table length {table_len}"
             )));
         }
         Ok(Self { cuts, table_len })

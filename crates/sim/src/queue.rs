@@ -148,6 +148,7 @@ impl<E> EventQueue<E> {
                 h
             }
             None => {
+                // lint::allow(no_panic): documented capacity limit of the u32 handle space
                 let h = u32::try_from(self.slots.len()).expect("event pool exceeds u32 handles");
                 self.slots.push(Some(event));
                 h
@@ -169,11 +170,13 @@ impl<E> EventQueue<E> {
         // so the heap invariant is re-established for free.
         self.heap.sort_unstable();
         for (i, e) in self.heap.iter_mut().enumerate() {
-            // lint::allow(no_panic): heap length is bounded by the u32
-            // slot-handle space checked in `schedule`.
+            // Heap length is bounded by the u32 slot-handle space checked
+            // in `schedule`.
+            // lint::allow(no_panic): heap len fits u32 (checked in schedule)
             let seq = u32::try_from(i).expect("pending events exceed u32 sequence space");
             *e = HeapEntry::new(e.at(), seq, e.slot());
         }
+        // lint::allow(no_panic): heap len fits u32 (checked in schedule)
         let len = u32::try_from(self.heap.len()).expect("pending events exceed u32 sequence space");
         self.seq = len;
     }
@@ -203,6 +206,7 @@ impl<E> EventQueue<E> {
         }
         let event = self.slots[top.slot() as usize]
             .take()
+            // lint::allow(no_panic): heap handles always point at occupied slots
             .expect("heap handles always reference occupied slots");
         self.free.push(top.slot());
         let at = top.at();

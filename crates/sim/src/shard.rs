@@ -397,6 +397,7 @@ impl<L: LpLogic> ShardedSim<L> {
             // Collect the initial position reports.
             let mut mins: Vec<Option<f64>> = vec![None; threads];
             for _ in 0..threads {
+                // lint::allow(no_panic): workers outlive the scope; each sends one first report
                 let r = reply_rx.recv().expect("worker died before first report");
                 mins[r.worker] = r.local_min;
             }
@@ -426,9 +427,11 @@ impl<L: LpLogic> ShardedSim<L> {
                         inclusive: window.inclusive,
                         deliveries: del,
                     })
+                    // lint::allow(no_panic): worker reply channels live for the whole scope
                     .expect("worker hung up mid-run");
                 }
                 for _ in 0..threads {
+                    // lint::allow(no_panic): worker reply channels live for the whole scope
                     let r = reply_rx.recv().expect("worker died mid-window");
                     mins[r.worker] = r.local_min;
                     stats.events += r.events;
@@ -441,9 +444,11 @@ impl<L: LpLogic> ShardedSim<L> {
             }
 
             for tx in &cmd_txs {
+                // lint::allow(no_panic): worker command channels live for the whole scope
                 tx.send(Cmd::Quit).expect("worker hung up at shutdown");
             }
             for _ in 0..threads {
+                // lint::allow(no_panic): worker done channels live for the whole scope
                 let (_, part) = done_rx.recv().expect("worker died at shutdown");
                 for (lp, unit) in part {
                     logics[lp] = Some(unit.logic);
@@ -454,6 +459,7 @@ impl<L: LpLogic> ShardedSim<L> {
         obs.on_run_end(stats.windows);
         let logics = logics
             .into_iter()
+            // lint::allow(no_panic): each worker returns its LP partition exactly once
             .map(|l| l.expect("every LP returned by exactly one worker"))
             .collect();
         (logics, stats)
@@ -641,6 +647,7 @@ fn worker_loop<L: LpLogic>(
             local_min: local_min(&part),
             events: 0,
         })
+        // lint::allow(no_panic): coordinator outlives workers within the scope
         .expect("coordinator hung up before first report");
 
     while let Ok(Cmd::Go {
@@ -673,10 +680,12 @@ fn worker_loop<L: LpLogic>(
                 local_min: local_min(&part),
                 events,
             })
+            // lint::allow(no_panic): coordinator outlives workers within the scope
             .expect("coordinator hung up mid-run");
     }
     done_tx
         .send((worker, part))
+        // lint::allow(no_panic): coordinator outlives workers within the scope
         .expect("coordinator hung up at shutdown");
 }
 

@@ -59,8 +59,9 @@ impl SimdBackend {
         use std::sync::OnceLock;
         static DETECTED: OnceLock<SimdBackend> = OnceLock::new();
         *DETECTED.get_or_init(|| {
-            // lint::allow(env_io): deliberate process-wide dispatch pin,
-            // read once; every rung is bit-identical so determinism holds
+            // Deliberate process-wide dispatch pin, read once; every rung
+            // is bit-identical so determinism holds.
+            // lint::allow(env_io): one-shot dispatch pin, latched per process
             if let Ok(v) = std::env::var("ER_SIMD") {
                 for b in SimdBackend::ALL {
                     if v.eq_ignore_ascii_case(b.name()) && b.is_available() {
